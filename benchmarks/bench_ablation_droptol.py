@@ -1,0 +1,62 @@
+"""E7 — effect of the incomplete-Cholesky drop tolerance.
+
+Section III-C argues dropped fill-ins correspond to opening large-resistance
+branches, so moderate drop tolerances barely hurt effective-resistance
+accuracy while shrinking the factor.  Sweep the drop tolerance at fixed
+ε = 1e-3 and record factor size / accuracy / time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.bench.reporting import format_table
+from repro.core.effective_resistance import (
+    CholInvEffectiveResistance,
+    ExactEffectiveResistance,
+)
+from repro.graphs.generators import grid_2d
+from repro.utils.timing import timed
+
+DROP_TOLS = (0.0, 1e-4, 1e-3, 1e-2, 5e-2)
+
+
+def test_droptol_tradeoff(benchmark, bench_out_dir):
+    graph = grid_2d(50, 50, jitter=0.3, seed=7)
+    pairs = graph.edge_array()
+    truth = ExactEffectiveResistance(graph).query_pairs(pairs)
+    rows = []
+
+    def run():
+        rows.clear()
+        for tol in DROP_TOLS:
+            with timed() as elapsed:
+                est = CholInvEffectiveResistance(
+                    graph, epsilon=1e-3, drop_tol=tol, ordering="amd"
+                )
+                approx = est.query_pairs(pairs)
+            rel = np.abs(approx - truth) / truth
+            rows.append(
+                [tol, est.ichol_result.nnz, est.stats.nnz, rel.mean(), rel.max(), elapsed()]
+            )
+        return rows
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    nnz_l = np.array([r[1] for r in rows], dtype=float)
+    means = np.array([r[3] for r in rows])
+    # larger tolerance => smaller factor
+    assert np.all(np.diff(nnz_l) <= 0)
+    # the paper's operating point (1e-3) stays well under 1% average error
+    paper_row = rows[DROP_TOLS.index(1e-3)]
+    assert paper_row[3] < 1e-2
+    # error grows monotonically-ish with tolerance (allow small noise)
+    assert means[-1] > means[0]
+
+    table = format_table(
+        ["drop_tol", "nnz(L)", "nnz(Z)", "Ea", "Em", "time_s"],
+        rows,
+        title="E7 — incomplete-Cholesky drop tolerance trade-off",
+    )
+    emit(bench_out_dir, "ablation_droptol", table)

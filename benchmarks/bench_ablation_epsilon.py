@@ -1,0 +1,54 @@
+"""E6 — the relative error of Alg. 3 scales linearly with ε (Eq. 26).
+
+Sweeps ε at fixed (complete) factorisation so the truncation error is
+isolated, and checks both monotonicity and the roughly-linear trend the
+paper derives: ``1 − αε ≤ R̃/R ≤ 1 + αε``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.bench.reporting import format_table
+from repro.core.effective_resistance import (
+    CholInvEffectiveResistance,
+    ExactEffectiveResistance,
+)
+from repro.graphs.generators import fe_mesh_2d
+
+EPSILONS = (3e-2, 1e-2, 3e-3, 1e-3, 3e-4, 1e-4)
+
+
+def test_error_scales_linearly_with_epsilon(benchmark, bench_out_dir):
+    graph = fe_mesh_2d(40, 40, seed=6)
+    pairs = graph.edge_array()
+    truth = ExactEffectiveResistance(graph).query_pairs(pairs)
+    rows = []
+
+    def run():
+        rows.clear()
+        for eps in EPSILONS:
+            est = CholInvEffectiveResistance(
+                graph, epsilon=eps, drop_tol=0.0, ordering="amd"
+            )
+            rel = np.abs(est.query_pairs(pairs) - truth) / truth
+            rows.append([eps, rel.mean(), rel.max(), est.stats.nnz])
+        return rows
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    means = np.array([r[1] for r in rows])
+    # monotone in ε
+    assert np.all(np.diff(means) < np.finfo(float).eps + means[:-1] * 0.2), means
+    # roughly linear: error ratio tracks the 300X ε span within an order
+    span = means[0] / means[-1]
+    eps_span = EPSILONS[0] / EPSILONS[-1]
+    assert span > eps_span / 10.0, f"error barely moved ({span:.1f}X over {eps_span:.0f}X ε)"
+
+    table = format_table(
+        ["epsilon", "Ea", "Em", "nnz(Z)"],
+        rows,
+        title="E6 — error vs ε (Eq. 26: linear scaling)",
+    )
+    emit(bench_out_dir, "ablation_epsilon", table)

@@ -1,0 +1,47 @@
+"""Table I — computing effective resistances on large graphs.
+
+Regenerates the paper's main comparison: Alg. 3 vs the WWW'15
+random-projection baseline on social / FE-mesh / power-grid graphs, with
+the sampled Ea/Em error protocol, filled-graph depth and sparsity ratios.
+
+Claims that must hold (paper Section IV-A):
+
+* Alg. 3 is one to two orders of magnitude faster than the baseline;
+* Alg. 3's average relative error is one to two orders of magnitude lower;
+* nnz(Z̃)/(n log n) is a small constant, far below the baseline's ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, full_scale
+from repro.bench.cases import TABLE1_CASES, quick_table1_names
+from repro.bench.table1 import render_table1, run_table1_case
+
+_ROWS = {}
+
+
+def _case_names():
+    return list(TABLE1_CASES) if full_scale() else quick_table1_names()
+
+
+@pytest.mark.parametrize("name", _case_names())
+def test_table1_case(benchmark, name, bench_out_dir):
+    case = TABLE1_CASES[name]
+
+    def run():
+        return run_table1_case(case, seed=0)
+
+    row = benchmark.pedantic(run, iterations=1, rounds=1)
+    _ROWS[name] = row
+
+    # the two headline claims of Table I
+    assert row.measured_speedup > 3.0, "Alg. 3 must clearly beat the baseline"
+    assert row.error_improvement > 5.0, "Alg. 3 must be clearly more accurate"
+    assert row.alg3_ea < 1e-2
+    assert row.alg3_nnz_ratio < 40.0
+
+    if len(_ROWS) == len(_case_names()):
+        rows = [_ROWS[n] for n in _case_names()]
+        emit(bench_out_dir, "table1", render_table1(rows, TABLE1_CASES))

@@ -1,0 +1,57 @@
+"""E9 — Theorem 1: measured column errors vs the depth·ε bound.
+
+Measures ``‖z_p − z̃_p‖₁/‖z_p‖₁`` for sampled columns against the a priori
+bound ``depth(p)·ε`` and reports the tightness distribution.  The bound
+must hold for every sampled node and is expected to be loose in practice
+(the paper's observed errors are far below it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.bench.reporting import format_table
+from repro.cholesky.incomplete import ichol
+from repro.core.approx_inverse import approximate_inverse
+from repro.core.error_bounds import column_error_report
+from repro.graphs.generators import fe_mesh_2d
+from repro.graphs.laplacian import grounded_laplacian
+
+EPSILONS = (1e-2, 1e-3)
+
+
+def test_theorem1_bound_holds(benchmark, bench_out_dir):
+    graph = fe_mesh_2d(30, 30, seed=9)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    factor = ichol(matrix, drop_tol=1e-3, ordering="amd")
+    rows = []
+
+    def run():
+        rows.clear()
+        for eps in EPSILONS:
+            z, _ = approximate_inverse(factor.lower, epsilon=eps)
+            report = column_error_report(
+                factor.lower, z, eps, seed=0, max_samples=150
+            )
+            tightness = report.tightness
+            finite = tightness[np.isfinite(tightness)]
+            rows.append(
+                [eps, report.max_violation, float(report.measured.max()),
+                 float(report.bound.max()), float(finite.mean()), float(finite.max())]
+            )
+        return rows
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    for row in rows:
+        assert row[1] <= 1e-10, "Theorem 1 bound violated"
+        assert row[5] <= 1.0 + 1e-9
+
+    table = format_table(
+        ["epsilon", "max_violation", "max_measured", "max_bound",
+         "mean_tightness", "max_tightness"],
+        rows,
+        title="E9 — Theorem 1 depth bound (must hold; expected loose)",
+    )
+    emit(bench_out_dir, "theorem1_bound", table)

@@ -1,0 +1,37 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench target regenerates one table or figure of the paper (see
+DESIGN.md §4).  Benchmarks run at a laptop-friendly scale by default;
+set ``REPRO_BENCH_FULL=1`` for the larger configurations.
+
+Rendered tables are printed *and* written to ``benchmarks/out/`` so the
+paper-vs-measured record in EXPERIMENTS.md can be refreshed from a run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def full_scale() -> bool:
+    """True when the user asked for full-scale benchmark runs."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_out_dir() -> Path:
+    """Directory collecting rendered benchmark tables."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(out_dir: Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it under ``benchmarks/out/``."""
+    print()
+    print(text)
+    (out_dir / f"{name}.txt").write_text(text + "\n")

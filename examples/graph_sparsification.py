@@ -1,0 +1,61 @@
+"""Spectral sparsification by effective-resistance sampling.
+
+Demonstrates the Spielman–Srivastava sparsifier on a dense graph using
+Alg. 3's approximate effective resistances as sampling scores — the core
+of the power-grid reduction's step 4.  Verifies spectral quality via the
+Laplacian quadratic form and via preserved effective resistances.
+
+Run:  python examples/graph_sparsification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CholInvEffectiveResistance, ExactEffectiveResistance, complete_graph
+from repro.graphs.laplacian import laplacian
+from repro.reduction.sparsify import spielman_srivastava_sparsify
+
+
+def main() -> None:
+    graph = complete_graph(150)  # 11k edges — dense
+    print(f"dense input: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    est = CholInvEffectiveResistance(graph, epsilon=1e-3, drop_tol=1e-3)
+    resistances = est.all_edge_resistances()
+
+    result = spielman_srivastava_sparsify(
+        graph, resistances, sample_factor=6.0, seed=0
+    )
+    sparse = result.graph
+    print(
+        f"sparsified: {sparse.num_edges} edges "
+        f"({sparse.num_edges / graph.num_edges:.1%} of input, "
+        f"{result.num_samples} samples, {result.kept_tree_edges} tree edges re-added)"
+    )
+
+    # spectral quality: Laplacian quadratic form on random vectors
+    lap_in = laplacian(graph).toarray()
+    lap_out = laplacian(sparse).toarray()
+    rng = np.random.default_rng(1)
+    distortions = []
+    for _ in range(20):
+        x = rng.normal(size=graph.num_nodes)
+        x -= x.mean()
+        distortions.append((x @ lap_out @ x) / (x @ lap_in @ x))
+    print(
+        f"quadratic-form distortion over 20 probes: "
+        f"[{min(distortions):.3f}, {max(distortions):.3f}] (ideal 1.0)"
+    )
+
+    # effective resistances survive sparsification
+    exact_in = ExactEffectiveResistance(graph)
+    exact_out = ExactEffectiveResistance(sparse)
+    pairs = [(0, 1), (10, 140), (42, 99)]
+    print("\neffective resistances before -> after:")
+    for p, q in pairs:
+        print(f"  R({p:3d},{q:3d}): {exact_in.query(p, q):.5f} -> {exact_out.query(p, q):.5f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim.
+
+The offline build environment lacks the `wheel` package, so PEP 517/660
+builds (which need `bdist_wheel`) are unavailable; keeping configuration in
+setup.cfg + this shim lets `pip install -e .` use the legacy editable path.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""repro — Effective resistances on large graphs via approximate inverse of
+the Cholesky factor (reproduction of Liu & Yu, DATE 2023).
+
+Quickstart
+----------
+>>> from repro import grid_2d, CholInvEffectiveResistance
+>>> graph = grid_2d(30, 30)
+>>> est = CholInvEffectiveResistance(graph, epsilon=1e-3, drop_tol=1e-3)
+>>> r = est.query(0, 899)
+
+Layers
+------
+* :mod:`repro.graphs` — graph container, Laplacians, generators, IO;
+* :mod:`repro.cholesky` — sparse complete/incomplete Cholesky substrate;
+* :mod:`repro.core` — the paper's Alg. 2 / Alg. 3 and error analysis;
+* :mod:`repro.baselines` — WWW'15 random projection and the naive method;
+* :mod:`repro.powergrid` — power-grid netlists, MNA, DC and transient
+  analysis;
+* :mod:`repro.partition` — METIS-substitute graph partitioning;
+* :mod:`repro.reduction` — Alg. 1 graph-sparsification-based PG reduction;
+* :mod:`repro.apps` — transient / DC-incremental application flows
+  (Table II);
+* :mod:`repro.bench` — harness regenerating every table and figure.
+"""
+
+from repro.baselines.naive import NaivePerQueryResistance
+from repro.baselines.random_projection import RandomProjectionEffectiveResistance
+from repro.cholesky.incomplete import ICholResult, ichol
+from repro.cholesky.numeric import CholeskyFactor, cholesky
+from repro.core.approx_inverse import ApproxInverseStats, approximate_inverse
+from repro.core.effective_resistance import (
+    CholInvEffectiveResistance,
+    ExactEffectiveResistance,
+    effective_resistances,
+    spanning_edge_centrality,
+)
+from repro.core.error_bounds import estimate_query_errors, theorem1_bound
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    fe_mesh_2d,
+    fe_mesh_3d,
+    grid_2d,
+    grid_3d,
+    path_graph,
+    random_geometric_graph,
+    rmat_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.laplacian import grounded_laplacian, incidence_matrix, laplacian
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "laplacian",
+    "grounded_laplacian",
+    "incidence_matrix",
+    "cholesky",
+    "CholeskyFactor",
+    "ichol",
+    "ICholResult",
+    "approximate_inverse",
+    "ApproxInverseStats",
+    "CholInvEffectiveResistance",
+    "ExactEffectiveResistance",
+    "RandomProjectionEffectiveResistance",
+    "NaivePerQueryResistance",
+    "effective_resistances",
+    "spanning_edge_centrality",
+    "estimate_query_errors",
+    "theorem1_bound",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_2d",
+    "grid_3d",
+    "fe_mesh_2d",
+    "fe_mesh_3d",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "rmat_graph",
+    "random_geometric_graph",
+    "__version__",
+]

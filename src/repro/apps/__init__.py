@@ -1,0 +1,24 @@
+"""Application flows of the paper's evaluation (Table II).
+
+* :mod:`repro.apps.transient_flow` — power-grid reduction followed by
+  1000-step transient analysis; errors measured at port nodes against the
+  unreduced grid (Table II upper half, Fig. 1 waveforms);
+* :mod:`repro.apps.incremental` — DC incremental analysis: a design change
+  touches ~10% of the blocks, only those are re-reduced, and the reduced
+  model is re-solved (Table II lower half).
+"""
+
+from repro.apps.incremental import (
+    IncrementalOutcome,
+    perturb_blocks,
+    run_incremental_flow,
+)
+from repro.apps.transient_flow import TransientOutcome, run_transient_flow
+
+__all__ = [
+    "run_transient_flow",
+    "TransientOutcome",
+    "run_incremental_flow",
+    "IncrementalOutcome",
+    "perturb_blocks",
+]

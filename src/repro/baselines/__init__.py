@@ -1,0 +1,16 @@
+"""Comparator algorithms the paper evaluates against.
+
+* :mod:`repro.baselines.random_projection` — the WWW'15 method [1]
+  (Johnson–Lindenstrauss projection of the edge-space embedding), the main
+  competitor in Table I;
+* :mod:`repro.baselines.naive` — one linear solve per query without caching,
+  the Ω(|E|²) strawman of Section II-B, kept for didactic benchmarks.
+"""
+
+from repro.baselines.naive import NaivePerQueryResistance
+from repro.baselines.random_projection import RandomProjectionEffectiveResistance
+
+__all__ = [
+    "RandomProjectionEffectiveResistance",
+    "NaivePerQueryResistance",
+]

@@ -1,0 +1,51 @@
+"""Naive per-query effective resistances (the Ω(|E|²) strawman).
+
+Section II-B of the paper notes that answering each query ``(p, q)`` with a
+fresh linear solve costs at least ``Ω(|E|)`` per query — prohibitive when
+``Q_r = E``.  This class implements exactly that strategy (a fresh PCG solve
+per query, no factorisation reuse) so benchmarks can demonstrate the gap the
+smarter methods close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.effective_resistance import _as_pair_arrays
+from repro.graphs.components import connected_components
+from repro.graphs.graph import Graph
+from repro.graphs.laplacian import grounded_laplacian
+from repro.linalg.pcg import pcg
+from repro.utils.timing import Timer
+
+
+class NaivePerQueryResistance:
+    """One unpreconditioned CG solve per query; nothing cached but the matrix."""
+
+    def __init__(self, graph: Graph, ground_value: "float | None" = None, rtol: float = 1e-10):
+        self.graph = graph
+        self.rtol = rtol
+        self.timer = Timer()
+        if ground_value is None:
+            ground_value = float(graph.weights.mean()) if graph.num_edges else 1.0
+        self.matrix, self.ground_nodes = grounded_laplacian(graph, ground_value)
+        self.component_labels, _ = connected_components(graph)
+        self.n = graph.num_nodes
+
+    def query(self, p: int, q: int) -> float:
+        """Effective resistance via a fresh iterative solve."""
+        if self.component_labels[p] != self.component_labels[q]:
+            return float("inf")
+        if p == q:
+            return 0.0
+        rhs = np.zeros(self.n)
+        rhs[p] = 1.0
+        rhs[q] = -1.0
+        with self.timer.section("solves"):
+            result = pcg(self.matrix, rhs, rtol=self.rtol)
+        return float(result.x[p] - result.x[q])
+
+    def query_pairs(self, pairs) -> np.ndarray:
+        """Loop of per-query solves (intentionally unamortised)."""
+        ps, qs = _as_pair_arrays(pairs)
+        return np.array([self.query(int(p), int(q)) for p, q in zip(ps, qs)])

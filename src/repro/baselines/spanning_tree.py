@@ -1,0 +1,155 @@
+"""Spanning-tree-sampling effective resistances (the [2]/[3] family).
+
+The paper's related work cites random-walk / random-spanning-tree methods
+(Hayashi et al., IJCAI'16; Peng et al., KDD'21) and notes they "can only
+handle unweighted graphs".  This module implements the idea for *weighted*
+graphs too, as an optional extra baseline:
+
+* **Wilson's algorithm** samples uniform (weighted) spanning trees by
+  loop-erased random walks — exactly proportional to tree weight;
+* by the matrix-tree theorem, ``Pr[e ∈ T] = w(e)·R_eff(e)`` — the
+  spanning-edge centrality — so averaging edge indicators over sampled
+  trees estimates every edge's effective resistance at once.
+
+The estimator is unbiased with variance ``p(1−p)/k``; it is practical for
+rough all-edge estimates and serves as an independent cross-check of the
+exact engine in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.effective_resistance import _as_pair_arrays
+from repro.graphs.graph import Graph
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+from repro.utils.validation import require
+
+
+def sample_spanning_tree(
+    graph: Graph, rng: "np.random.Generator", root: int = 0
+) -> np.ndarray:
+    """Sample one weighted-uniform spanning tree with Wilson's algorithm.
+
+    Returns the edge indices of the sampled tree (``n − 1`` of them).
+    The graph must be connected and coalesced (unique node pairs), so each
+    (node, neighbour) step maps back to a unique edge id.
+    """
+    n = graph.num_nodes
+    adj = graph.adjacency().tocsr()
+    # map CSR slots back to edge ids through canonical keys
+    lo = np.minimum(graph.heads, graph.tails)
+    hi = np.maximum(graph.heads, graph.tails)
+    keys = lo * np.int64(n) + hi
+    order = np.argsort(keys)
+    sorted_keys = keys[order]
+    require(
+        np.unique(sorted_keys).size == keys.size,
+        "graph must be coalesced (no parallel edges) for tree sampling",
+    )
+
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[root] = True
+    next_node = -np.ones(n, dtype=np.int64)
+
+    for start in range(n):
+        if in_tree[start]:
+            continue
+        # random walk from `start` until hitting the tree, with loop erasure
+        u = start
+        while not in_tree[u]:
+            begin, end = adj.indptr[u], adj.indptr[u + 1]
+            neighbours = adj.indices[begin:end]
+            weights = adj.data[begin:end]
+            probabilities = weights / weights.sum()
+            u_next = int(neighbours[rng.choice(neighbours.shape[0], p=probabilities)])
+            next_node[u] = u_next
+            u = u_next
+        # retrace the loop-erased path and attach it to the tree
+        u = start
+        while not in_tree[u]:
+            in_tree[u] = True
+            u = int(next_node[u])
+
+    # collect the tree edges: every non-root node's final parent pointer
+    # (erased-loop pointers were overwritten by the walk that re-attached
+    # the node, so surviving pointers all belong to the tree)
+    us = np.array(
+        [u for u in range(n) if u != root and next_node[u] >= 0 and in_tree[u]],
+        dtype=np.int64,
+    )
+    a = np.minimum(us, next_node[us])
+    b = np.maximum(us, next_node[us])
+    tree_keys = a * np.int64(n) + b
+    positions = np.searchsorted(sorted_keys, tree_keys)
+    edge_ids = order[positions]
+    return np.unique(edge_ids)
+
+
+class SpanningTreeEffectiveResistance:
+    """All-edge effective resistances from sampled spanning trees.
+
+    Parameters
+    ----------
+    graph:
+        Connected weighted graph (coalesced).
+    num_trees:
+        Number of Wilson samples ``k``; the per-edge standard error is
+        ``√(p(1−p)/k) / w(e)``.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, graph: Graph, num_trees: int = 200, seed=None):
+        require(num_trees >= 1, "need at least one tree")
+        self.graph = graph.coalesce()
+        self.num_trees = num_trees
+        self.timer = Timer()
+        rng = ensure_rng(seed)
+        counts = np.zeros(self.graph.num_edges)
+        with self.timer.section("tree_sampling"):
+            for _ in range(num_trees):
+                tree = sample_spanning_tree(self.graph, rng)
+                counts[tree] += 1.0
+        self.edge_frequency = counts / num_trees
+        # R(e) = Pr[e in T] / w(e)
+        self._edge_resistance = self.edge_frequency / self.graph.weights
+        n = self.graph.num_nodes
+        lo = np.minimum(self.graph.heads, self.graph.tails)
+        hi = np.maximum(self.graph.heads, self.graph.tails)
+        keys = lo * np.int64(n) + hi
+        self._key_order = np.argsort(keys)
+        self._sorted_keys = keys[self._key_order]
+
+    def all_edge_resistances(self) -> np.ndarray:
+        """Estimated effective resistance of every (coalesced) edge."""
+        return self._edge_resistance.copy()
+
+    def query_pairs(self, pairs) -> np.ndarray:
+        """Estimates for node pairs — only *edges* are supported.
+
+        Non-adjacent pairs raise: tree sampling only observes edge
+        indicators (this mirrors the scope of the methods in [2], [3]).
+        """
+        ps, qs = _as_pair_arrays(pairs)
+        n = self.graph.num_nodes
+        keys = (
+            np.minimum(ps, qs).astype(np.int64) * np.int64(n)
+            + np.maximum(ps, qs).astype(np.int64)
+        )
+        positions = np.searchsorted(self._sorted_keys, keys)
+        valid = (positions < self._sorted_keys.shape[0]) & (
+            self._sorted_keys[np.minimum(positions, self._sorted_keys.shape[0] - 1)]
+            == keys
+        )
+        require(bool(np.all(valid)), "spanning-tree estimator only answers edge queries")
+        return self._edge_resistance[self._key_order[positions]]
+
+    def query(self, p: int, q: int) -> float:
+        """Estimate for one adjacent pair."""
+        return float(self.query_pairs([(p, q)])[0])
+
+    def spanning_edge_centrality(self) -> np.ndarray:
+        """Direct estimate of ``Pr[e ∈ T]`` (sums to ≈ n − 1)."""
+        return self.edge_frequency.copy()

@@ -1,0 +1,35 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+* :mod:`repro.bench.cases` — named workload definitions (Table I graph
+  families, Table II power-grid cases) with paper-reference numbers;
+* :mod:`repro.bench.table1` — the Table I protocol (all-edge effective
+  resistances, Alg. 3 vs WWW'15, sampled Ea/Em, dpt, nnz ratios);
+* :mod:`repro.bench.table2` — the Table II protocol (PG reduction +
+  transient / DC incremental analysis under three ER backends);
+* :mod:`repro.bench.fig1` — Fig. 1 transient waveforms (CSV + ASCII plot);
+* :mod:`repro.bench.reporting` — fixed-width table rendering.
+
+The pytest-benchmark entry points in ``benchmarks/`` are thin wrappers
+around these functions, so the same rows can also be produced from a
+Python shell or the examples.
+"""
+
+from repro.bench.cases import TABLE1_CASES, TABLE2_CASES, Table1Case, Table2Case
+from repro.bench.fig1 import run_fig1
+from repro.bench.reporting import format_table
+from repro.bench.table1 import Table1Row, run_table1_case
+from repro.bench.table2 import Table2Row, run_table2_incremental, run_table2_transient
+
+__all__ = [
+    "TABLE1_CASES",
+    "TABLE2_CASES",
+    "Table1Case",
+    "Table2Case",
+    "run_table1_case",
+    "Table1Row",
+    "run_table2_transient",
+    "run_table2_incremental",
+    "Table2Row",
+    "run_fig1",
+    "format_table",
+]

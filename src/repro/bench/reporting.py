@@ -1,0 +1,44 @@
+"""Fixed-width table rendering for benchmark output.
+
+The bench targets print rows shaped like the paper's tables next to the
+paper's own numbers, so "does the shape hold?" is a visual one-liner.
+"""
+
+from __future__ import annotations
+
+
+def format_value(value) -> str:
+    """Render a cell: scientific for tiny/huge floats, compact otherwise."""
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude < 1e-3 or magnitude >= 1e5:
+            return f"{value:.2e}"
+        if magnitude < 10:
+            return f"{value:.3f}"
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_table(headers: "list[str]", rows: "list[list]", title: str = "") -> str:
+    """Render a fixed-width ASCII table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def speedup(reference: float, candidate: float) -> float:
+    """``reference / candidate`` guarded against zero division."""
+    return reference / candidate if candidate > 0 else float("inf")

@@ -1,0 +1,55 @@
+"""Filled-graph node depth — Eq. (11) of the paper.
+
+For the (possibly incomplete) Cholesky factor ``L``, the depth of node ``p``
+is::
+
+    depth(p) = 0                                   if L(p+1:n, p) = 0
+             = 1 + max_{i>p, L(i,p) != 0} depth(i)  otherwise
+
+Theorem 1 bounds the relative 1-norm error of Alg. 2's approximate inverse
+columns by ``depth(p) · ε``; Table I reports the maximum depth (``dpt``) for
+every test graph, and the bench harness reproduces that column.
+
+Because the recurrence only references *larger* node indices, a single
+backward sweep over the columns of ``L`` evaluates it exactly — this works
+for incomplete factors too, whose pattern is not closed under elimination-
+tree paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import check_square_sparse
+
+
+def filled_graph_depth(lower: sp.spmatrix) -> np.ndarray:
+    """Depth of every node in the filled graph of factor ``lower``.
+
+    Parameters
+    ----------
+    lower:
+        Lower-triangular factor (complete or incomplete), any sparse format.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array ``depth`` with ``depth[p]`` per Eq. (11).
+    """
+    check_square_sparse(lower, "lower")
+    csc = sp.csc_matrix(sp.tril(lower, k=-1))
+    n = csc.shape[0]
+    depth = np.zeros(n, dtype=np.int64)
+    indptr, indices = csc.indptr, csc.indices
+    for p in range(n - 1, -1, -1):
+        start, end = indptr[p], indptr[p + 1]
+        if end > start:
+            depth[p] = 1 + int(depth[indices[start:end]].max())
+    return depth
+
+
+def max_depth(lower: sp.spmatrix) -> int:
+    """Maximum filled-graph depth — the ``dpt`` column of Table I."""
+    depths = filled_graph_depth(lower)
+    return int(depths.max()) if depths.size else 0

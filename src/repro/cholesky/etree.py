@@ -1,0 +1,133 @@
+"""Elimination tree and related symbolic analysis (Davis, ch. 4).
+
+The elimination tree ``parent[j]`` of an SPD matrix ``A`` is the transitive
+reduction of the directed filled graph: ``parent[j]`` is the row index of the
+first sub-diagonal nonzero of column ``j`` of the Cholesky factor ``L``.  It
+drives the symbolic factorisation (row patterns of ``L`` are paths towards
+the root) and gives cheap fill-in estimates (column counts).
+
+The filled-graph *depth* of Eq. (11) in the paper is exactly the height of
+each node in this tree when the factorisation is complete; the incomplete
+case is handled separately in :mod:`repro.cholesky.depth` from the actual
+``L`` structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import check_square_sparse
+
+
+def elimination_tree(matrix: sp.spmatrix) -> np.ndarray:
+    """Compute the elimination tree of a sparse symmetric matrix.
+
+    Returns ``parent`` with ``parent[j] = -1`` for roots.  Uses the
+    path-compression (ancestor) algorithm, O(nnz · α(n)).
+    Only the lower triangle of ``matrix`` is referenced.
+    """
+    check_square_sparse(matrix, "matrix")
+    csc = sp.csc_matrix(sp.tril(matrix, k=-1))
+    n = csc.shape[0]
+    parent = -np.ones(n, dtype=np.int64)
+    ancestor = -np.ones(n, dtype=np.int64)
+    indptr, indices = csc.indptr, csc.indices
+    # iterate columns; for column k every row index i>k connects subtree of k
+    # A is symmetric: process row k by scanning column entries of the upper
+    # triangle, equivalently rows i<k of column k of the lower triangle of Aᵀ.
+    csr = csc.tocsr()
+    del indptr, indices
+    for k in range(n):
+        for idx in range(csr.indptr[k], csr.indptr[k + 1]):
+            i = int(csr.indices[idx])  # i < k since we kept strict lower triangle
+            # walk from i to the root of its current virtual tree
+            while i != -1 and i < k:
+                next_i = int(ancestor[i])
+                ancestor[i] = k
+                if next_i == -1:
+                    parent[i] = k
+                i = next_i
+    return parent
+
+
+def postorder(parent: np.ndarray) -> np.ndarray:
+    """Postorder the forest given by ``parent`` (iterative DFS).
+
+    Returns ``post`` such that ``post[k]`` is the node visited k-th; children
+    always precede their parents, which later passes rely on.
+    """
+    n = parent.shape[0]
+    first_child = -np.ones(n, dtype=np.int64)
+    next_sibling = -np.ones(n, dtype=np.int64)
+    for v in range(n - 1, -1, -1):
+        p = int(parent[v])
+        if p != -1:
+            next_sibling[v] = first_child[p]
+            first_child[p] = v
+    post = np.empty(n, dtype=np.int64)
+    count = 0
+    stack: list[int] = []
+    for root in range(n):
+        if parent[root] != -1:
+            continue
+        stack.append(root)
+        while stack:
+            node = stack[-1]
+            child = int(first_child[node])
+            if child != -1:
+                stack.append(child)
+                first_child[node] = next_sibling[child]
+            else:
+                post[count] = node
+                count += 1
+                stack.pop()
+    if count != n:
+        raise ValueError("parent array does not describe a forest")
+    return post
+
+
+def tree_depths(parent: np.ndarray) -> np.ndarray:
+    """Distance from each node to the root of its elimination tree.
+
+    For a *complete* factorisation this equals the filled-graph depth of
+    Eq. (11): a column with no sub-diagonal entries is an etree root
+    (depth 0), and since every entry of column ``p`` lies on the path from
+    ``parent[p]`` to the root — along which Eq. (11) depths are non-
+    increasing — the recurrence collapses to ``depth[p] = 1 +
+    depth[parent[p]]``.  Incomplete factors are handled from the actual
+    ``L`` pattern by :func:`repro.cholesky.depth.filled_graph_depth`.
+    """
+    n = parent.shape[0]
+    depth = np.zeros(n, dtype=np.int64)
+    # parent[j] > j in an elimination tree, so a reverse sweep sees parents first
+    for v in range(n - 1, -1, -1):
+        p = int(parent[v])
+        if p != -1:
+            depth[v] = depth[p] + 1
+    return depth
+
+
+def column_counts(matrix: sp.spmatrix, parent: "np.ndarray | None" = None) -> np.ndarray:
+    """Number of nonzeros in each column of the Cholesky factor ``L``.
+
+    Straightforward O(fill) algorithm: walk each row's pattern up the
+    elimination tree marking visited nodes.  Fast enough for the problem
+    sizes of the test-suite and used for allocation in the numeric phase.
+    """
+    check_square_sparse(matrix, "matrix")
+    lower = sp.csr_matrix(sp.tril(matrix, k=-1))
+    n = lower.shape[0]
+    if parent is None:
+        parent = elimination_tree(matrix)
+    counts = np.ones(n, dtype=np.int64)  # diagonal entries
+    mark = -np.ones(n, dtype=np.int64)
+    for i in range(n):
+        mark[i] = i
+        for idx in range(lower.indptr[i], lower.indptr[i + 1]):
+            j = int(lower.indices[idx])
+            while j != -1 and mark[j] != i:
+                counts[j] += 1
+                mark[j] = i
+                j = int(parent[j])
+    return counts

@@ -1,0 +1,174 @@
+"""Fill-reducing orderings (AMD/METIS substitute).
+
+The quality of the paper's whole pipeline rests on the Cholesky factor of
+the (grounded) Laplacian staying sparse, so a fill-reducing ordering is
+applied before every factorisation.  Three methods are provided:
+
+* ``natural`` — identity permutation (useful for reproducibility tests and
+  for matrices already ordered, e.g. grid generators emit row-major order
+  which is banded);
+* ``rcm`` — reverse Cuthill–McKee via scipy, a bandwidth reducer that works
+  well on mesh-like power grids;
+* ``amd`` — our own quotient-graph minimum-degree ordering with element
+  absorption (the classic precursor of AMD).  It produces markedly less
+  fill than RCM on irregular graphs, at a Python-loop cost that is fine for
+  the problem sizes of this reproduction.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import reverse_cuthill_mckee
+
+from repro.utils.validation import check_square_sparse
+
+
+def permute_symmetric(matrix: sp.spmatrix, perm: np.ndarray) -> sp.csc_matrix:
+    """Symmetric permutation ``(P A Pᵀ)[i, j] = A[perm[i], perm[j]]``."""
+    check_square_sparse(matrix, "matrix")
+    perm = np.asarray(perm, dtype=np.int64)
+    n = matrix.shape[0]
+    if perm.shape != (n,):
+        raise ValueError(f"permutation has wrong length {perm.shape}, expected ({n},)")
+    csr = sp.csr_matrix(matrix)
+    return csr[perm, :][:, perm].tocsc()
+
+
+def inverse_permutation(perm: np.ndarray) -> np.ndarray:
+    """Return ``inv`` with ``inv[perm[k]] = k``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.shape[0], dtype=np.int64)
+    return inv
+
+
+def rcm_ordering(matrix: sp.spmatrix) -> np.ndarray:
+    """Reverse Cuthill–McKee ordering of a symmetric sparse matrix."""
+    return np.asarray(
+        reverse_cuthill_mckee(sp.csr_matrix(matrix), symmetric_mode=True), dtype=np.int64
+    )
+
+
+def minimum_degree_ordering(matrix: sp.spmatrix, exact_degree_limit: int = 48) -> np.ndarray:
+    """Quotient-graph minimum-degree ordering with element absorption.
+
+    The classic minimum-degree algorithm (George & Liu) on the quotient
+    graph: eliminating pivot ``p`` replaces ``p`` and the elements adjacent
+    to it with a single new element whose variable list is the union of
+    their variable lists.  A binary heap with lazy invalidation selects the
+    pivot.
+
+    Degree updates use the AMD idea of *approximate* external degrees: the
+    cheap upper bound ``|A_i| + Σ_e |L_e|`` replaces the exact (set-union)
+    degree whenever the bound exceeds ``exact_degree_limit``.  On mesh-like
+    matrices nearly all updates stay exact; on social-network graphs the
+    bound avoids the O(hub²) unions that make exact minimum degree
+    intractable.
+
+    Returns the permutation ``perm`` such that eliminating in the order
+    ``perm[0], perm[1], ...`` greedily minimises fill-in.
+    """
+    check_square_sparse(matrix, "matrix")
+    n = matrix.shape[0]
+    csr = sp.csr_matrix(matrix)
+    csr.setdiag(0)
+    csr.eliminate_zeros()
+
+    # adjacency between still-uneliminated variables
+    adj: list[set[int]] = [set(csr.indices[csr.indptr[i]:csr.indptr[i + 1]].tolist()) for i in range(n)]
+    # elements adjacent to each variable (ids index `element_vars`)
+    var_elements: list[set[int]] = [set() for _ in range(n)]
+    element_vars: dict[int, set[int]] = {}
+
+    degree = np.array([len(a) for a in adj], dtype=np.int64)
+    heap: list[tuple[int, int]] = [(int(degree[i]), i) for i in range(n)]
+    heapq.heapify(heap)
+    eliminated = np.zeros(n, dtype=bool)
+    perm = np.empty(n, dtype=np.int64)
+    next_element = 0
+
+    def current_degree(i: int) -> int:
+        """External degree of ``i``: exact when cheap, AMD bound otherwise."""
+        bound = len(adj[i]) + sum(len(element_vars[e]) for e in var_elements[i])
+        if bound > exact_degree_limit and len(var_elements[i]) > 1:
+            return bound
+        reach = set(adj[i])
+        for e in var_elements[i]:
+            reach |= element_vars[e]
+        reach.discard(i)
+        return len(reach)
+
+    for k in range(n):
+        # pop until a live, up-to-date entry appears
+        while True:
+            deg, p = heapq.heappop(heap)
+            if not eliminated[p] and deg == degree[p]:
+                break
+
+        # dense-tail cutoff (CHOLMOD-style): once the minimum degree spans
+        # most of what remains, the rest is a quasi-clique — no ordering
+        # gains are left, so append the remaining nodes by current degree
+        remaining = n - k
+        if deg >= 0.6 * remaining and remaining > 2:
+            tail = np.flatnonzero(~eliminated)
+            order = np.argsort(degree[tail], kind="stable")
+            perm[k:] = tail[order]
+            return perm
+
+        eliminated[p] = True
+        perm[k] = p
+
+        # variable list of the new element: direct neighbours plus the
+        # variables of every absorbed element
+        new_vars = set(adj[p])
+        absorbed = var_elements[p]
+        for e in absorbed:
+            new_vars |= element_vars[e]
+        new_vars.discard(p)
+
+        element_id = next_element
+        next_element += 1
+        element_vars[element_id] = new_vars
+
+        for v in new_vars:
+            mine = adj[v]
+            mine.discard(p)
+            # edges inside the element are now represented through it;
+            # pick the cheaper set-difference direction
+            if len(mine) * 4 < len(new_vars):
+                adj[v] = {u for u in mine if u not in new_vars}
+            else:
+                mine -= new_vars
+            var_elements[v] -= absorbed
+            var_elements[v].add(element_id)
+        for e in absorbed:
+            del element_vars[e]
+        adj[p] = set()
+        var_elements[p] = set()
+
+        for v in new_vars:
+            degree[v] = current_degree(v)
+            heapq.heappush(heap, (int(degree[v]), v))
+
+    return perm
+
+
+def compute_ordering(matrix: sp.spmatrix, method: str = "amd") -> np.ndarray:
+    """Dispatch on ordering ``method``:
+    ``natural`` | ``rcm`` | ``amd`` | ``nested_dissection``."""
+    check_square_sparse(matrix, "matrix")
+    n = matrix.shape[0]
+    if method == "natural":
+        return np.arange(n, dtype=np.int64)
+    if method == "rcm":
+        return rcm_ordering(matrix)
+    if method in ("amd", "mindeg", "minimum_degree"):
+        return minimum_degree_ordering(matrix)
+    if method in ("nd", "nested_dissection"):
+        from repro.cholesky.nested_dissection import nested_dissection_ordering
+
+        return nested_dissection_ordering(matrix)
+    raise ValueError(f"unknown ordering method {method!r}")

@@ -1,0 +1,89 @@
+"""Symbolic Cholesky factorisation: compute the pattern of ``L``.
+
+Given the lower triangle of a symmetric matrix and its elimination tree, the
+row pattern of ``L`` for row ``i`` is the union of paths from the nonzero
+columns of row ``i`` of ``A`` up the elimination tree towards ``i`` (Davis,
+Theorem 4.2).  Collecting those paths column-wise yields the full pattern of
+``L`` without any numeric work, which the up-looking numeric factorisation
+then fills in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cholesky.etree import elimination_tree
+from repro.utils.validation import check_square_sparse
+
+
+@dataclass(frozen=True)
+class SymbolicFactor:
+    """Pattern of the Cholesky factor in CSC layout.
+
+    Attributes
+    ----------
+    indptr, indices:
+        CSC structure of ``L`` (diagonal entry first in every column —
+        the numeric phase relies on that invariant).
+    parent:
+        Elimination tree used to derive the pattern.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    parent: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Total number of stored entries of ``L`` (diagonal included)."""
+        return int(self.indices.shape[0])
+
+
+def symbolic_factorization(matrix: sp.spmatrix) -> SymbolicFactor:
+    """Compute the exact pattern of the Cholesky factor of ``matrix``.
+
+    Only the lower triangle is referenced.  Runs in O(|L|) time using the
+    row-subtree characterisation.
+    """
+    check_square_sparse(matrix, "matrix")
+    lower = sp.csr_matrix(sp.tril(matrix, k=-1))
+    n = lower.shape[0]
+    parent = elimination_tree(matrix)
+
+    # First pass: count entries per column (diagonal included).
+    counts = np.ones(n, dtype=np.int64)
+    mark = -np.ones(n, dtype=np.int64)
+    for i in range(n):
+        mark[i] = i
+        for idx in range(lower.indptr[i], lower.indptr[i + 1]):
+            j = int(lower.indices[idx])
+            while j != -1 and mark[j] != i:
+                counts[j] += 1
+                mark[j] = i
+                j = int(parent[j])
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.empty(indptr[-1], dtype=np.int64)
+
+    # Second pass: fill row indices. Place diagonals first, then append rows.
+    fill_pos = indptr[:-1].copy()
+    indices[fill_pos] = np.arange(n)
+    fill_pos += 1
+    mark[:] = -1
+    for i in range(n):
+        mark[i] = i
+        for idx in range(lower.indptr[i], lower.indptr[i + 1]):
+            j = int(lower.indices[idx])
+            while j != -1 and mark[j] != i:
+                indices[fill_pos[j]] = i
+                fill_pos[j] += 1
+                mark[j] = i
+                j = int(parent[j])
+
+    # Rows within each column arrive in increasing i automatically because the
+    # outer loop runs i = 0..n-1; assert the invariant cheaply in debug terms.
+    return SymbolicFactor(indptr=indptr, indices=indices, parent=parent)

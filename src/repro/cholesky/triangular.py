@@ -1,0 +1,36 @@
+"""Sparse triangular solves for CSC lower factors.
+
+Thin wrappers around :func:`scipy.sparse.linalg.spsolve_triangular` with the
+conventions used throughout the library: factors are CSC lower-triangular
+with the diagonal present, right-hand sides may be 1-D vectors or 2-D
+column-stacked blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+
+def solve_lower(lower: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``L y = rhs`` for lower-triangular ``L``."""
+    return spla.spsolve_triangular(sp.csr_matrix(lower), np.asarray(rhs, dtype=np.float64), lower=True)
+
+
+def solve_lower_transpose(lower: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``Lᵀ z = rhs`` for lower-triangular ``L``."""
+    upper = sp.csr_matrix(lower.T)
+    return spla.spsolve_triangular(upper, np.asarray(rhs, dtype=np.float64), lower=False)
+
+
+def spd_solve(lower: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``L Lᵀ x = rhs`` (both triangular sweeps)."""
+    return solve_lower_transpose(lower, solve_lower(lower, rhs))
+
+
+def unit_vector(n: int, index: int) -> np.ndarray:
+    """Dense standard basis vector ``e_index`` of dimension ``n``."""
+    e = np.zeros(n)
+    e[index] = 1.0
+    return e

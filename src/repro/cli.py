@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``er``          effective resistances of a graph (file or generator)
+``dc``          DC operating point of a SPICE power grid
+``transient``   Backward-Euler transient analysis of a SPICE power grid
+``reduce``      Alg. 1 power-grid reduction (SPICE in → SPICE out)
+``table1``      run one Table I benchmark case
+``fig1``        reproduce the Fig. 1 waveform experiment
+
+The CLI wraps the same public API the examples use; it exists so the
+reproduction can be driven from shell scripts without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load_graph(args):
+    """Build the graph from --edgelist/--mtx/--generator options."""
+    from repro.graphs.generators import barabasi_albert_graph, fe_mesh_2d, grid_2d
+    from repro.graphs.io import read_edgelist, read_matrix_market
+
+    if args.edgelist:
+        return read_edgelist(args.edgelist)
+    if args.mtx:
+        return read_matrix_market(args.mtx)
+    kind, _, spec = (args.generator or "grid2d:40x40").partition(":")
+    if kind == "grid2d":
+        rows, _, cols = spec.partition("x")
+        return grid_2d(int(rows or 40), int(cols or 40), jitter=0.3, seed=args.seed)
+    if kind == "mesh2d":
+        rows, _, cols = spec.partition("x")
+        return fe_mesh_2d(int(rows or 40), int(cols or 40), seed=args.seed)
+    if kind == "ba":
+        return barabasi_albert_graph(int(spec or 5000), 3, seed=args.seed)
+    raise SystemExit(f"unknown generator {args.generator!r}")
+
+
+def cmd_er(args) -> int:
+    """Compute effective resistances and print/save them."""
+    from repro.core.effective_resistance import effective_resistances
+
+    graph = _load_graph(args)
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges", file=sys.stderr)
+    kwargs = {}
+    if args.method == "cholinv":
+        kwargs = {"epsilon": args.epsilon, "drop_tol": args.drop_tol, "ordering": args.ordering}
+    elif args.method == "random_projection":
+        kwargs = {"seed": args.seed}
+    if args.pairs:
+        pairs = np.asarray(
+            [tuple(int(x) for x in pair.split(",")) for pair in args.pairs]
+        )
+    else:
+        pairs = graph.edge_array()
+    values = effective_resistances(graph, pairs, method=args.method, **kwargs)
+    out = sys.stdout if args.output == "-" else open(args.output, "w")
+    try:
+        out.write("p,q,r_eff\n")
+        for (p, q), r in zip(pairs, values):
+            out.write(f"{int(p)},{int(q)},{r:.10g}\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    return 0
+
+
+def cmd_dc(args) -> int:
+    """DC-solve a SPICE power grid and report IR-drop statistics."""
+    from repro.powergrid.dc import dc_analysis
+    from repro.powergrid.spice import read_spice
+
+    grid = read_spice(args.netlist)
+    result = dc_analysis(grid)
+    print(f"grid: {grid}")
+    print(f"max IR drop / bounce: {result.max_drop() * 1e3:.4f} mV")
+    drops = result.drops()
+    worst = np.argsort(drops)[-args.top:][::-1]
+    print(f"worst {args.top} nodes:")
+    for node in worst:
+        print(f"  {grid.name_of(int(node))}: {drops[node] * 1e3:.4f} mV")
+    return 0
+
+
+def cmd_transient(args) -> int:
+    """Transient-simulate a SPICE power grid; report worst excursions."""
+    from repro.powergrid.spice import read_spice
+    from repro.powergrid.transient import transient_analysis
+
+    grid = read_spice(args.netlist)
+    ports = grid.port_nodes()
+    result = transient_analysis(
+        grid, step=args.step, num_steps=args.steps, observe=ports
+    )
+    swing = result.voltages.max(axis=1) - result.voltages.min(axis=1)
+    worst = np.argsort(swing)[-args.top:][::-1]
+    print(f"grid: {grid}  ({args.steps} steps of {args.step:g}s)")
+    print(f"worst {args.top} port swings:")
+    for row in worst:
+        node = int(result.observed[row])
+        print(f"  {grid.name_of(node)}: {swing[row] * 1e3:.4f} mV")
+    return 0
+
+
+def cmd_reduce(args) -> int:
+    """Reduce a SPICE power grid with Alg. 1 and write the reduced netlist."""
+    from repro.powergrid.spice import read_spice, write_spice
+    from repro.reduction.pipeline import PGReducer, ReductionConfig
+
+    grid = read_spice(args.netlist)
+    config = ReductionConfig(
+        er_method=args.er_method,
+        merge_resistance_fraction=args.merge_fraction,
+        protect_all_ports=not args.merge_ports,
+        seed=args.seed,
+    )
+    reducer = PGReducer(grid, config)
+    reduced = reducer.reduce()
+    print(f"original: {grid}")
+    print(f"reduced:  {reduced.grid}")
+    print(f"Tred: {reducer.timer.total:.2f}s ({reducer.num_blocks} blocks)")
+    write_spice(reduced.grid, args.output, title=f"reduced from {args.netlist}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    """Run one Table I case and print the measured vs paper row."""
+    from repro.bench.cases import TABLE1_CASES
+    from repro.bench.table1 import render_table1, run_table1_case
+
+    if args.case not in TABLE1_CASES:
+        raise SystemExit(f"unknown case; choose from {', '.join(TABLE1_CASES)}")
+    case = TABLE1_CASES[args.case]
+    row = run_table1_case(case, seed=args.seed, run_baseline=not args.skip_baseline)
+    print(render_table1([row], TABLE1_CASES))
+    return 0
+
+
+def cmd_fig1(args) -> int:
+    """Reproduce the Fig. 1 waveform experiment."""
+    from repro.bench.cases import TABLE2_CASES
+    from repro.bench.fig1 import ascii_plot, run_fig1
+
+    case = TABLE2_CASES[args.case]
+    result = run_fig1(case, num_steps=args.steps, output_csv=args.output)
+    print(
+        ascii_plot(
+            result.times,
+            {"original": result.vdd_original, "reduced": result.vdd_reduced},
+            title=f"VDD node {result.vdd_node_name}",
+        )
+    )
+    print()
+    print(
+        ascii_plot(
+            result.times,
+            {"original": result.gnd_original, "reduced": result.gnd_reduced},
+            title=f"GND node {result.gnd_node_name}",
+        )
+    )
+    if args.output:
+        print(f"\nwaveforms written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Effective resistances via approximate inverse of Cholesky factor"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    er = sub.add_parser("er", help="compute effective resistances")
+    er.add_argument("--edgelist", help="edge-list file (u v [w] per line)")
+    er.add_argument("--mtx", help="MatrixMarket adjacency/Laplacian file")
+    er.add_argument("--generator", help="grid2d:RxC | mesh2d:RxC | ba:N")
+    er.add_argument("--method", default="cholinv",
+                    choices=["cholinv", "exact", "random_projection"])
+    er.add_argument("--epsilon", type=float, default=1e-3)
+    er.add_argument("--drop-tol", dest="drop_tol", type=float, default=1e-3)
+    er.add_argument("--ordering", default="amd",
+                    choices=["amd", "rcm", "natural", "nested_dissection"])
+    er.add_argument("--pairs", nargs="*", help='queries like "12,97" (default: all edges)')
+    er.add_argument("--output", default="-", help="CSV path or - for stdout")
+    er.add_argument("--seed", type=int, default=0)
+    er.set_defaults(func=cmd_er)
+
+    dc = sub.add_parser("dc", help="DC analysis of a SPICE power grid")
+    dc.add_argument("netlist")
+    dc.add_argument("--top", type=int, default=5)
+    dc.set_defaults(func=cmd_dc)
+
+    tr = sub.add_parser("transient", help="transient analysis of a SPICE power grid")
+    tr.add_argument("netlist")
+    tr.add_argument("--step", type=float, default=1e-11)
+    tr.add_argument("--steps", type=int, default=1000)
+    tr.add_argument("--top", type=int, default=5)
+    tr.set_defaults(func=cmd_transient)
+
+    red = sub.add_parser("reduce", help="Alg. 1 power-grid reduction")
+    red.add_argument("netlist")
+    red.add_argument("--output", default="reduced.sp")
+    red.add_argument("--er-method", dest="er_method", default="cholinv",
+                     choices=["cholinv", "exact", "random_projection"])
+    red.add_argument("--merge-fraction", dest="merge_fraction", type=float, default=0.05)
+    red.add_argument("--merge-ports", dest="merge_ports", action="store_true",
+                     help="allow merging current-source ports (original [8] behaviour)")
+    red.add_argument("--seed", type=int, default=0)
+    red.set_defaults(func=cmd_reduce)
+
+    t1 = sub.add_parser("table1", help="run one Table I benchmark case")
+    t1.add_argument("--case", default="fe-mesh-2d")
+    t1.add_argument("--seed", type=int, default=0)
+    t1.add_argument("--skip-baseline", action="store_true")
+    t1.set_defaults(func=cmd_table1)
+
+    f1 = sub.add_parser("fig1", help="reproduce the Fig. 1 waveforms")
+    f1.add_argument("--case", default="pg3-like")
+    f1.add_argument("--steps", type=int, default=300)
+    f1.add_argument("--output", help="CSV output path")
+    f1.set_defaults(func=cmd_fig1)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""The paper's core contribution.
+
+* :mod:`repro.core.truncation` — the relative 1-norm pruning rule (Eq. 10);
+* :mod:`repro.core.approx_inverse` — Alg. 2, the sparse approximate inverse
+  of a Cholesky factor;
+* :mod:`repro.core.effective_resistance` — Alg. 3 plus exact effective
+  resistances and the high-level query API;
+* :mod:`repro.core.error_bounds` — Theorem 1 / Eq. (25)–(26) machinery and
+  the sampled error estimation used in Table I.
+"""
+
+from repro.core.approx_inverse import ApproxInverseStats, approximate_inverse
+from repro.core.effective_resistance import (
+    CholInvEffectiveResistance,
+    ExactEffectiveResistance,
+    effective_resistances,
+    spanning_edge_centrality,
+)
+from repro.core.error_bounds import (
+    alpha_coefficient,
+    column_error_report,
+    estimate_query_errors,
+    theorem1_bound,
+)
+from repro.core.truncation import truncate_relative_1norm
+
+__all__ = [
+    "approximate_inverse",
+    "ApproxInverseStats",
+    "truncate_relative_1norm",
+    "CholInvEffectiveResistance",
+    "ExactEffectiveResistance",
+    "effective_resistances",
+    "spanning_edge_centrality",
+    "theorem1_bound",
+    "column_error_report",
+    "alpha_coefficient",
+    "estimate_query_errors",
+]

@@ -1,0 +1,62 @@
+"""Weighted undirected graph substrate.
+
+This package provides the graph data structure the whole library is built
+on (:class:`~repro.graphs.graph.Graph`), conversion to the linear-algebra
+objects of the paper (incidence matrix ``B``, weight matrix ``W``, Laplacian
+``L_G = BᵀWB`` and its grounded SDD variant), connected components, file IO
+and a family of synthetic generators that stand in for the paper's SNAP /
+UFL / IBM benchmark downloads.
+"""
+
+from repro.graphs.components import connected_components, is_connected, largest_component
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    fe_mesh_2d,
+    fe_mesh_3d,
+    grid_2d,
+    grid_3d,
+    path_graph,
+    random_geometric_graph,
+    rmat_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_edgelist, read_matrix_market, write_edgelist, write_matrix_market
+from repro.graphs.laplacian import (
+    grounded_laplacian,
+    incidence_matrix,
+    laplacian,
+    laplacian_from_grounded,
+    weight_matrix,
+)
+
+__all__ = [
+    "Graph",
+    "incidence_matrix",
+    "weight_matrix",
+    "laplacian",
+    "grounded_laplacian",
+    "laplacian_from_grounded",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "read_edgelist",
+    "write_edgelist",
+    "read_matrix_market",
+    "write_matrix_market",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_2d",
+    "grid_3d",
+    "fe_mesh_2d",
+    "fe_mesh_3d",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "rmat_graph",
+    "random_geometric_graph",
+]

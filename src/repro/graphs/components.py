@@ -1,0 +1,52 @@
+"""Connected components of :class:`~repro.graphs.graph.Graph` objects.
+
+Grounding (Section II-A of the paper) needs one grounded node per connected
+component, and effective resistance between different components is infinite;
+both call sites use the labels computed here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components as _cc
+
+from repro.graphs.graph import Graph
+
+
+def connected_components(graph: Graph) -> "tuple[np.ndarray, int]":
+    """Label nodes by connected component.
+
+    Returns
+    -------
+    (labels, count):
+        ``labels[v]`` is the component index of node ``v`` (0-based) and
+        ``count`` the number of components.
+    """
+    if graph.num_edges == 0:
+        return np.arange(graph.num_nodes), graph.num_nodes
+    n = graph.num_nodes
+    adj = sp.coo_matrix(
+        (np.ones(graph.num_edges), (graph.heads, graph.tails)), shape=(n, n)
+    )
+    count, labels = _cc(adj, directed=False)
+    return labels.astype(np.int64), int(count)
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when the graph has exactly one connected component."""
+    _, count = connected_components(graph)
+    return count == 1
+
+
+def largest_component(graph: Graph) -> "tuple[Graph, np.ndarray]":
+    """Induced subgraph on the largest connected component.
+
+    Returns the subgraph and the original node ids of its vertices.
+    """
+    labels, count = connected_components(graph)
+    if count == 1:
+        return graph, np.arange(graph.num_nodes)
+    sizes = np.bincount(labels, minlength=count)
+    keep = np.flatnonzero(labels == int(np.argmax(sizes)))
+    return graph.subgraph(keep)

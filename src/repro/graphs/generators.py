@@ -1,0 +1,367 @@
+"""Synthetic graph generators standing in for the paper's benchmark downloads.
+
+Table I of the paper evaluates on three families of graphs:
+
+* **social networks** (com-DBLP, com-Amazon, com-Youtube, coAuthor-*) —
+  heavy-tailed degree distributions; we substitute Barabási–Albert,
+  Watts–Strogatz and RMAT (recursive-matrix / Kronecker-style) generators;
+* **finite-element meshes** (fe_tooth, fe_rotor, NACA0015) — bounded-degree,
+  locally planar structure; we substitute triangulated 2-D and tetrahedral-
+  style 3-D meshes with randomised positive weights;
+* **power grids / circuits** (ibmpg5/6, thupg, G2/G3 circuit) — mesh-like
+  grids; :func:`grid_2d` / :func:`grid_3d` cover them here, and
+  :mod:`repro.powergrid.generators` builds full electrical models.
+
+All generators return :class:`~repro.graphs.graph.Graph` with strictly
+positive weights and never contain self loops.  All are deterministic given a
+seed (see :mod:`repro.utils.rng`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+
+# ----------------------------------------------------------------------
+# Deterministic reference topologies (used heavily by the test-suite since
+# their effective resistances have closed forms).
+# ----------------------------------------------------------------------
+def path_graph(n: int, weight: float = 1.0) -> Graph:
+    """Path ``0 − 1 − ... − (n-1)``; ``R(i, j) = |i − j| / weight``."""
+    require(n >= 1, "path needs at least one node")
+    idx = np.arange(n - 1)
+    return Graph(n, idx, idx + 1, np.full(n - 1, float(weight)))
+
+
+def cycle_graph(n: int, weight: float = 1.0) -> Graph:
+    """Cycle on ``n`` nodes; ``R(i, j) = d (n − d) / (n · weight)`` for hop
+    distance ``d``."""
+    require(n >= 3, "cycle needs at least three nodes")
+    idx = np.arange(n)
+    return Graph(n, idx, (idx + 1) % n, np.full(n, float(weight)))
+
+
+def star_graph(n: int, weight: float = 1.0) -> Graph:
+    """Star with centre 0 and ``n-1`` leaves; ``R(0, leaf) = 1/weight`` and
+    ``R(leaf, leaf') = 2/weight``."""
+    require(n >= 2, "star needs at least two nodes")
+    leaves = np.arange(1, n)
+    return Graph(n, np.zeros(n - 1, dtype=np.int64), leaves, np.full(n - 1, float(weight)))
+
+
+def complete_graph(n: int, weight: float = 1.0) -> Graph:
+    """Complete graph; ``R(p, q) = 2 / (n · weight)`` for every pair."""
+    require(n >= 2, "complete graph needs at least two nodes")
+    heads, tails = np.triu_indices(n, k=1)
+    return Graph(n, heads.astype(np.int64), tails.astype(np.int64), np.full(heads.size, float(weight)))
+
+
+# ----------------------------------------------------------------------
+# Mesh-like graphs (power-grid / circuit proxies)
+# ----------------------------------------------------------------------
+def grid_2d(
+    rows: int,
+    cols: int,
+    weight: float = 1.0,
+    jitter: float = 0.0,
+    seed: "int | np.random.Generator | None" = None,
+) -> Graph:
+    """Rectangular ``rows × cols`` grid; node ``(r, c)`` has index ``r*cols+c``.
+
+    ``jitter`` > 0 multiplies each weight by a uniform factor in
+    ``[1/(1+jitter), 1+jitter]``, mimicking extracted wire-resistance spread.
+    """
+    require(rows >= 1 and cols >= 1, "grid dimensions must be positive")
+    rng = ensure_rng(seed)
+    heads, tails = [], []
+    node = lambda r, c: r * cols + c  # noqa: E731 - tiny local helper
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                heads.append(node(r, c))
+                tails.append(node(r, c + 1))
+            if r + 1 < rows:
+                heads.append(node(r, c))
+                tails.append(node(r + 1, c))
+    m = len(heads)
+    weights = np.full(m, float(weight))
+    if jitter > 0:
+        factors = rng.uniform(1.0 / (1.0 + jitter), 1.0 + jitter, size=m)
+        weights = weights * factors
+    return Graph(rows * cols, np.asarray(heads), np.asarray(tails), weights)
+
+
+def grid_3d(
+    nx: int,
+    ny: int,
+    nz: int,
+    weight: float = 1.0,
+    jitter: float = 0.0,
+    seed: "int | np.random.Generator | None" = None,
+) -> Graph:
+    """3-D grid; node ``(x, y, z)`` has index ``(z*ny + y)*nx + x``."""
+    require(nx >= 1 and ny >= 1 and nz >= 1, "grid dimensions must be positive")
+    rng = ensure_rng(seed)
+    heads, tails = [], []
+    node = lambda x, y, z: (z * ny + y) * nx + x  # noqa: E731
+    for z in range(nz):
+        for y in range(ny):
+            for x in range(nx):
+                if x + 1 < nx:
+                    heads.append(node(x, y, z))
+                    tails.append(node(x + 1, y, z))
+                if y + 1 < ny:
+                    heads.append(node(x, y, z))
+                    tails.append(node(x, y + 1, z))
+                if z + 1 < nz:
+                    heads.append(node(x, y, z))
+                    tails.append(node(x, y, z + 1))
+    m = len(heads)
+    weights = np.full(m, float(weight))
+    if jitter > 0:
+        weights = weights * rng.uniform(1.0 / (1.0 + jitter), 1.0 + jitter, size=m)
+    return Graph(nx * ny * nz, np.asarray(heads), np.asarray(tails), weights)
+
+
+# ----------------------------------------------------------------------
+# Finite-element-style meshes (fe_tooth / fe_rotor / NACA0015 proxies)
+# ----------------------------------------------------------------------
+def fe_mesh_2d(
+    rows: int,
+    cols: int,
+    weight_low: float = 0.5,
+    weight_high: float = 2.0,
+    seed: "int | np.random.Generator | None" = None,
+) -> Graph:
+    """Triangulated 2-D mesh: grid edges plus one diagonal per cell.
+
+    The diagonal orientation is chosen pseudo-randomly per cell, giving an
+    unstructured-looking triangulation like FE discretisations of irregular
+    domains.  Weights are log-uniform in ``[weight_low, weight_high]``.
+    """
+    require(rows >= 2 and cols >= 2, "mesh needs at least a 2x2 grid")
+    rng = ensure_rng(seed)
+    base = grid_2d(rows, cols)
+    heads = [base.heads]
+    tails = [base.tails]
+    node = lambda r, c: r * cols + c  # noqa: E731
+    diag_heads, diag_tails = [], []
+    flips = rng.random((rows - 1, cols - 1)) < 0.5
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            if flips[r, c]:
+                diag_heads.append(node(r, c))
+                diag_tails.append(node(r + 1, c + 1))
+            else:
+                diag_heads.append(node(r, c + 1))
+                diag_tails.append(node(r + 1, c))
+    heads.append(np.asarray(diag_heads, dtype=np.int64))
+    tails.append(np.asarray(diag_tails, dtype=np.int64))
+    all_heads = np.concatenate(heads)
+    all_tails = np.concatenate(tails)
+    log_low, log_high = np.log(weight_low), np.log(weight_high)
+    weights = np.exp(rng.uniform(log_low, log_high, size=all_heads.size))
+    return Graph(rows * cols, all_heads, all_tails, weights)
+
+
+def fe_mesh_3d(
+    nx: int,
+    ny: int,
+    nz: int,
+    weight_low: float = 0.5,
+    weight_high: float = 2.0,
+    seed: "int | np.random.Generator | None" = None,
+) -> Graph:
+    """3-D FE-style mesh: 3-D grid plus body diagonals of each cell."""
+    require(nx >= 2 and ny >= 2 and nz >= 2, "mesh needs at least 2x2x2")
+    rng = ensure_rng(seed)
+    base = grid_3d(nx, ny, nz)
+    node = lambda x, y, z: (z * ny + y) * nx + x  # noqa: E731
+    diag_heads, diag_tails = [], []
+    for z in range(nz - 1):
+        for y in range(ny - 1):
+            for x in range(nx - 1):
+                diag_heads.append(node(x, y, z))
+                diag_tails.append(node(x + 1, y + 1, z + 1))
+    all_heads = np.concatenate([base.heads, np.asarray(diag_heads, dtype=np.int64)])
+    all_tails = np.concatenate([base.tails, np.asarray(diag_tails, dtype=np.int64)])
+    log_low, log_high = np.log(weight_low), np.log(weight_high)
+    weights = np.exp(rng.uniform(log_low, log_high, size=all_heads.size))
+    return Graph(nx * ny * nz, all_heads, all_tails, weights)
+
+
+# ----------------------------------------------------------------------
+# Social-network proxies (com-DBLP / com-Amazon / com-Youtube substitutes)
+# ----------------------------------------------------------------------
+def barabasi_albert_graph(
+    n: int,
+    attachments: int = 3,
+    weight_low: float = 1.0,
+    weight_high: float = 1.0,
+    seed: "int | np.random.Generator | None" = None,
+) -> Graph:
+    """Preferential-attachment graph with ``attachments`` edges per new node.
+
+    Implemented directly (repeated-endpoint sampling trick) so it scales to
+    hundreds of thousands of nodes without networkx overhead.
+    """
+    require(n > attachments >= 1, "need n > attachments >= 1")
+    rng = ensure_rng(seed)
+    targets = list(range(attachments))
+    repeated: list[int] = []
+    heads = np.empty((n - attachments) * attachments, dtype=np.int64)
+    tails = np.empty_like(heads)
+    pos = 0
+    for source in range(attachments, n):
+        for t in targets:
+            heads[pos] = source
+            tails[pos] = t
+            pos += 1
+        repeated.extend(targets)
+        repeated.extend([source] * attachments)
+        # sample next targets proportional to degree, without replacement
+        chosen: set[int] = set()
+        while len(chosen) < attachments:
+            chosen.add(repeated[int(rng.integers(len(repeated)))])
+        targets = list(chosen)
+    if weight_low == weight_high:
+        weights = np.full(heads.size, float(weight_low))
+    else:
+        weights = np.exp(rng.uniform(np.log(weight_low), np.log(weight_high), size=heads.size))
+    return Graph(n, heads, tails, weights).coalesce()
+
+
+def watts_strogatz_graph(
+    n: int,
+    neighbours: int = 4,
+    rewire_prob: float = 0.1,
+    weight_low: float = 1.0,
+    weight_high: float = 1.0,
+    seed: "int | np.random.Generator | None" = None,
+) -> Graph:
+    """Small-world ring lattice with random rewiring (connected variant).
+
+    Each node connects to its ``neighbours`` nearest ring neighbours; each
+    edge is re-targeted with probability ``rewire_prob``.  The underlying
+    ring is kept intact so the graph stays connected.
+    """
+    require(neighbours % 2 == 0 and neighbours >= 2, "neighbours must be even and >= 2")
+    require(n > neighbours, "need n > neighbours")
+    rng = ensure_rng(seed)
+    heads, tails = [], []
+    half = neighbours // 2
+    for dist in range(1, half + 1):
+        src = np.arange(n)
+        dst = (src + dist) % n
+        if dist == 1:
+            heads.append(src)
+            tails.append(dst)
+            continue
+        rewire = rng.random(n) < rewire_prob
+        new_dst = dst.copy()
+        random_targets = rng.integers(0, n, size=int(rewire.sum()))
+        new_dst[rewire] = random_targets
+        bad = new_dst == src
+        new_dst[bad] = (src[bad] + dist) % n
+        heads.append(src)
+        tails.append(new_dst)
+    all_heads = np.concatenate(heads)
+    all_tails = np.concatenate(tails)
+    if weight_low == weight_high:
+        weights = np.full(all_heads.size, float(weight_low))
+    else:
+        weights = np.exp(rng.uniform(np.log(weight_low), np.log(weight_high), size=all_heads.size))
+    return Graph(n, all_heads, all_tails, weights).coalesce()
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 8,
+    probabilities: "tuple[float, float, float, float]" = (0.57, 0.19, 0.19, 0.05),
+    weight_low: float = 1.0,
+    weight_high: float = 1.0,
+    connect: bool = True,
+    seed: "int | np.random.Generator | None" = None,
+) -> Graph:
+    """RMAT / Kronecker-style power-law graph on ``2**scale`` nodes.
+
+    This is the classic Graph500 generator: each edge picks one of the four
+    adjacency-matrix quadrants recursively with probabilities ``(a, b, c, d)``.
+    ``connect=True`` adds a random Hamiltonian-style path so the graph is
+    connected (effective resistance is only finite within a component).
+    """
+    a, b, c, d = probabilities
+    require(abs(a + b + c + d - 1.0) < 1e-9, "probabilities must sum to 1")
+    rng = ensure_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    rows = np.zeros(m, dtype=np.int64)
+    cols = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        # quadrant layout: [a b; c d] — b and d move right, c and d move down
+        go_right = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        go_down = r >= a + b
+        rows = rows * 2 + go_down.astype(np.int64)
+        cols = cols * 2 + go_right.astype(np.int64)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    if connect:
+        perm = rng.permutation(n)
+        rows = np.concatenate([rows, perm[:-1]])
+        cols = np.concatenate([cols, perm[1:]])
+    if weight_low == weight_high:
+        weights = np.full(rows.size, float(weight_low))
+    else:
+        weights = np.exp(rng.uniform(np.log(weight_low), np.log(weight_high), size=rows.size))
+    return Graph(n, rows, cols, weights).coalesce()
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float,
+    weight_by_distance: bool = True,
+    seed: "int | np.random.Generator | None" = None,
+) -> Graph:
+    """Random geometric graph in the unit square (grid-bucketed, O(n) cells).
+
+    Nodes are uniform points; an edge connects pairs closer than ``radius``;
+    with ``weight_by_distance`` the conductance is ``1/distance`` which gives
+    the natural electrical interpretation of shorter wires conducting better.
+    """
+    require(0 < radius < 1, "radius must lie in (0, 1)")
+    rng = ensure_rng(seed)
+    points = rng.random((n, 2))
+    cell = np.floor(points / radius).astype(np.int64)
+    ncell = int(np.ceil(1.0 / radius))
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for i, (cx, cy) in enumerate(cell):
+        buckets.setdefault((int(cx), int(cy)), []).append(i)
+    heads, tails, dists = [], [], []
+    for (cx, cy), members in buckets.items():
+        neighbour_cells = [
+            (cx + dx, cy + dy)
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            if 0 <= cx + dx < ncell and 0 <= cy + dy < ncell
+        ]
+        candidates = [j for nc in neighbour_cells for j in buckets.get(nc, [])]
+        cand = np.asarray(candidates, dtype=np.int64)
+        for i in members:
+            close = cand[cand > i]
+            if close.size == 0:
+                continue
+            d = np.linalg.norm(points[close] - points[i], axis=1)
+            hit = close[d < radius]
+            heads.extend([i] * hit.size)
+            tails.extend(hit.tolist())
+            dists.extend(d[d < radius].tolist())
+    if weight_by_distance:
+        weights = 1.0 / np.maximum(np.asarray(dists), 1e-6)
+    else:
+        weights = np.ones(len(heads))
+    return Graph(n, np.asarray(heads, dtype=np.int64), np.asarray(tails, dtype=np.int64), weights)

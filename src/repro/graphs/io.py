@@ -1,0 +1,95 @@
+"""Graph file IO: whitespace edge lists and MatrixMarket Laplacian/adjacency.
+
+The paper's test cases come from SNAP (edge lists) and the SuiteSparse /
+UF collection (MatrixMarket).  These readers let users run the library on
+the genuine files when they have them; the test-suite exercises round-trips
+through temporary files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.io
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+
+
+def write_edgelist(graph: Graph, path: "str | Path", write_weights: bool = True) -> None:
+    """Write ``u v [w]`` lines, one edge per line."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write(f"# nodes {graph.num_nodes} edges {graph.num_edges}\n")
+        for u, v, w in zip(graph.heads, graph.tails, graph.weights):
+            if write_weights:
+                handle.write(f"{int(u)} {int(v)} {float(w):.17g}\n")
+            else:
+                handle.write(f"{int(u)} {int(v)}\n")
+
+
+def read_edgelist(path: "str | Path", num_nodes: "int | None" = None) -> Graph:
+    """Read a SNAP-style edge list (``#`` comments, 2 or 3 columns).
+
+    Node ids need not be contiguous; they are compacted to ``0..n-1``
+    preserving numeric order.  Self loops are dropped (SNAP files contain
+    them occasionally and they are meaningless for effective resistance).
+    """
+    path = Path(path)
+    heads, tails, weights = [], [], []
+    declared_nodes = num_nodes
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                tokens = line.split()
+                if "nodes" in tokens:
+                    declared_nodes = declared_nodes or int(tokens[tokens.index("nodes") + 1])
+                continue
+            parts = line.split()
+            u, v = int(parts[0]), int(parts[1])
+            if u == v:
+                continue
+            heads.append(u)
+            tails.append(v)
+            weights.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    heads_arr = np.asarray(heads, dtype=np.int64)
+    tails_arr = np.asarray(tails, dtype=np.int64)
+    ids = np.unique(np.concatenate([heads_arr, tails_arr])) if heads_arr.size else np.empty(0, np.int64)
+    if declared_nodes is not None and (ids.size == 0 or ids.max() < declared_nodes) and (
+        ids.size == declared_nodes or ids.size == 0 or ids.max() == ids.size - 1
+    ):
+        n = declared_nodes
+        new_heads, new_tails = heads_arr, tails_arr
+    else:
+        lookup = {int(old): new for new, old in enumerate(ids)}
+        new_heads = np.asarray([lookup[int(u)] for u in heads_arr], dtype=np.int64)
+        new_tails = np.asarray([lookup[int(v)] for v in tails_arr], dtype=np.int64)
+        n = int(ids.size) if declared_nodes is None else max(int(ids.size), declared_nodes)
+    return Graph(n, new_heads, new_tails, np.asarray(weights))
+
+
+def write_matrix_market(graph: Graph, path: "str | Path") -> None:
+    """Write the symmetric weighted adjacency matrix in MatrixMarket form."""
+    scipy.io.mmwrite(str(path), sp.coo_matrix(graph.adjacency()), symmetry="symmetric")
+
+
+def read_matrix_market(path: "str | Path") -> Graph:
+    """Read a MatrixMarket file as a graph.
+
+    Accepts either an adjacency matrix (nonnegative off-diagonals) or a
+    Laplacian/SDD matrix (nonpositive off-diagonals, as in UF circuit
+    matrices): off-diagonal magnitudes become edge weights either way.
+    """
+    matrix = scipy.io.mmread(str(path)).tocoo()
+    off = matrix.row != matrix.col
+    rows, cols, data = matrix.row[off], matrix.col[off], np.abs(matrix.data[off])
+    keep = rows < cols
+    mirrored = sp.coo_matrix(
+        (data[keep], (rows[keep], cols[keep])), shape=matrix.shape
+    ).tocoo()
+    graph = Graph(matrix.shape[0], mirrored.row.astype(np.int64), mirrored.col.astype(np.int64), mirrored.data)
+    return graph.coalesce()

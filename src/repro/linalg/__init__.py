@@ -1,0 +1,18 @@
+"""Supporting linear algebra: PCG, SDD utilities, sparse helpers."""
+
+from repro.linalg.pcg import PCGResult, pcg
+from repro.linalg.sparse_utils import (
+    column_slices,
+    drop_small,
+    nnz_per_column,
+    relative_residual,
+)
+
+__all__ = [
+    "pcg",
+    "PCGResult",
+    "drop_small",
+    "nnz_per_column",
+    "column_slices",
+    "relative_residual",
+]

@@ -1,0 +1,32 @@
+"""Small sparse-matrix helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def nnz_per_column(matrix: sp.spmatrix) -> np.ndarray:
+    """Number of stored nonzeros in each column."""
+    csc = sp.csc_matrix(matrix)
+    return np.diff(csc.indptr)
+
+
+def column_slices(csc: sp.csc_matrix, j: int) -> "tuple[np.ndarray, np.ndarray]":
+    """Row indices and values of column ``j`` (views into the CSC arrays)."""
+    start, end = csc.indptr[j], csc.indptr[j + 1]
+    return csc.indices[start:end], csc.data[start:end]
+
+
+def drop_small(matrix: sp.spmatrix, threshold: float) -> sp.csc_matrix:
+    """Zero out entries with ``|value| < threshold`` and compress."""
+    csc = sp.csc_matrix(matrix).copy()
+    csc.data[np.abs(csc.data) < threshold] = 0.0
+    csc.eliminate_zeros()
+    return csc
+
+
+def relative_residual(matrix: sp.spmatrix, x: np.ndarray, rhs: np.ndarray) -> float:
+    """``‖A x − b‖ / ‖b‖`` with a safe denominator."""
+    b_norm = float(np.linalg.norm(rhs)) or 1.0
+    return float(np.linalg.norm(matrix @ x - rhs)) / b_norm

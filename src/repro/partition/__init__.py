@@ -1,0 +1,30 @@
+"""Graph partitioning (METIS substitute).
+
+Alg. 1 step 1 partitions the power grid into ``#ports / 50`` blocks with
+METIS.  This package provides a multilevel k-way partitioner with the same
+architecture (heavy-edge matching coarsening → initial bisection → FM
+boundary refinement → recursive k-way), plus a coordinate-based geometric
+partitioner for meshes and the node-role classification (port / non-port
+interface / non-port interior) the reduction consumes.
+"""
+
+from repro.partition.interface import (
+    NodeRole,
+    PartitionQuality,
+    classify_nodes,
+    edge_cut,
+    partition_graph,
+    partition_quality,
+)
+from repro.partition.multilevel import multilevel_bisection, multilevel_kway
+
+__all__ = [
+    "partition_graph",
+    "classify_nodes",
+    "NodeRole",
+    "edge_cut",
+    "partition_quality",
+    "PartitionQuality",
+    "multilevel_kway",
+    "multilevel_bisection",
+]

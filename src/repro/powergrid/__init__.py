@@ -1,0 +1,46 @@
+"""Power-grid substrate: netlists, SPICE IO, MNA, DC and transient analysis.
+
+The paper's Table II evaluates its fast reduction method on the IBM power
+grid benchmarks — RC networks with VDD/GND pads (voltage sources), current
+loads, and mesh-like metal layers.  This package provides the full
+electrical stack:
+
+* :mod:`repro.powergrid.netlist` — the :class:`PowerGrid` data model;
+* :mod:`repro.powergrid.spice` — reader/writer for the IBM-PG SPICE subset;
+* :mod:`repro.powergrid.generators` — parametric synthetic grids standing in
+  for the (non-downloadable) ibmpg2–ibmpg6 / thupg benchmarks;
+* :mod:`repro.powergrid.mna` — nodal-analysis matrix assembly;
+* :mod:`repro.powergrid.dc` — DC operating-point analysis;
+* :mod:`repro.powergrid.transient` — fixed-step Backward-Euler transient
+  analysis (factor once, 1000 steps — the Table II protocol);
+* :mod:`repro.powergrid.waveforms` — PWL / pulse current-source waveforms.
+"""
+
+from repro.powergrid.dc import DCResult, dc_analysis
+from repro.powergrid.generators import synthetic_ibmpg_like
+from repro.powergrid.mna import MNASystem, build_mna
+from repro.powergrid.netlist import CurrentSource, PowerGrid, VoltageSource
+from repro.powergrid.spice import read_spice, write_spice
+from repro.powergrid.transient import TransientResult, transient_analysis
+from repro.powergrid.validation import ValidationReport, validate_power_grid
+from repro.powergrid.waveforms import PulseWaveform, PWLWaveform, Waveform
+
+__all__ = [
+    "PowerGrid",
+    "CurrentSource",
+    "VoltageSource",
+    "read_spice",
+    "write_spice",
+    "synthetic_ibmpg_like",
+    "build_mna",
+    "MNASystem",
+    "dc_analysis",
+    "DCResult",
+    "transient_analysis",
+    "TransientResult",
+    "Waveform",
+    "PWLWaveform",
+    "PulseWaveform",
+    "validate_power_grid",
+    "ValidationReport",
+]

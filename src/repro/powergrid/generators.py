@@ -1,0 +1,200 @@
+"""Synthetic IBM-style power-grid benchmark generator.
+
+The real IBM (ibmpg2–ibmpg6) and THU benchmarks are behind university
+download pages, so this module builds grids with the same *electrical
+structure*, sized to pure-Python runtimes:
+
+* one or two independent supply nets (VDD at the supply voltage, GND at
+  0 V), each a jittered 2-D metal mesh — the dominant structure of flip-chip
+  power grids after via collapsing;
+* **pads** (C4 bumps) on a coarse regular sub-lattice, modelled as ideal
+  voltage sources — these are port nodes;
+* **current loads** at randomly chosen nodes, drawing from the VDD net and
+  returning into the GND net — also port nodes; in transient mode each load
+  carries a randomly-phased SPICE ``PULSE`` waveform;
+* **decap/parasitic capacitors** at every non-pad node (transient mode).
+
+Table II derives its cases from this generator (see
+:mod:`repro.bench.cases`), and the SPICE writer exports them for external
+cross-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.powergrid.netlist import PowerGrid
+from repro.powergrid.waveforms import PulseWaveform
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class PGConfig:
+    """Parameters of a synthetic power grid (one or two nets).
+
+    Attributes mirror physical knobs of the IBM benchmarks: mesh size,
+    pad pitch, sheet resistance, load density and magnitude, decap value.
+    """
+
+    nx: int = 40
+    ny: int = 40
+    nets: "tuple[str, ...]" = ("vdd", "gnd")
+    vdd: float = 1.8
+    pad_pitch: int = 10
+    wire_resistance: float = 0.5
+    resistance_jitter: float = 0.3
+    load_fraction: float = 0.08
+    load_current: float = 5e-3
+    decap: float = 2e-13
+    transient: bool = False
+    pulse_rise: float = 5e-11
+    pulse_width: float = 2e-10
+    pulse_period: float = 2e-9
+    num_layers: int = 1
+    strap_pitch: int = 4
+    strap_resistance_factor: float = 0.2
+    via_resistance: float = 0.1
+
+    def __post_init__(self):
+        require(self.nx >= 2 and self.ny >= 2, "mesh must be at least 2x2")
+        require(self.pad_pitch >= 2, "pad pitch must be >= 2")
+        require(0 < self.load_fraction <= 1.0, "load_fraction in (0, 1]")
+        require(self.num_layers in (1, 2), "num_layers must be 1 or 2")
+        require(self.strap_pitch >= 2, "strap pitch must be >= 2")
+        for net in self.nets:
+            require(net in ("vdd", "gnd"), f"unknown net {net!r}")
+
+
+def synthetic_ibmpg_like(
+    config: "PGConfig | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+    **overrides,
+) -> PowerGrid:
+    """Build a synthetic IBM-style power grid.
+
+    Parameters
+    ----------
+    config:
+        Full parameter set; keyword ``overrides`` patch individual fields
+        (e.g. ``synthetic_ibmpg_like(nx=60, ny=60, transient=True)``).
+    seed:
+        RNG seed controlling jitter, load placement and pulse phases.
+    """
+    if config is None:
+        config = PGConfig(**overrides)
+    elif overrides:
+        config = PGConfig(**{**config.__dict__, **overrides})
+    rng = ensure_rng(seed)
+    grid = PowerGrid()
+
+    for net in config.nets:
+        _build_net(grid, net, config, rng)
+    return grid
+
+
+def _build_net(grid: PowerGrid, net: str, config: PGConfig, rng: np.random.Generator) -> None:
+    """Add one supply net (mesh + pads + loads + decaps) to ``grid``."""
+    nx, ny = config.nx, config.ny
+    is_vdd = net == "vdd"
+    supply = config.vdd if is_vdd else 0.0
+
+    nodes = np.empty((nx, ny), dtype=np.int64)
+    for x in range(nx):
+        for y in range(ny):
+            nodes[x, y] = grid.node(f"n_{net}_{x}_{y}")
+
+    # mesh resistors with jitter (wire-width / extraction spread)
+    jitter = config.resistance_jitter
+    for x in range(nx):
+        for y in range(ny):
+            if x + 1 < nx:
+                factor = rng.uniform(1.0 / (1.0 + jitter), 1.0 + jitter)
+                grid.add_resistor(
+                    int(nodes[x, y]), int(nodes[x + 1, y]), config.wire_resistance * factor
+                )
+            if y + 1 < ny:
+                factor = rng.uniform(1.0 / (1.0 + jitter), 1.0 + jitter)
+                grid.add_resistor(
+                    int(nodes[x, y]), int(nodes[x, y + 1]), config.wire_resistance * factor
+                )
+
+    # optional second metal layer: coarse low-resistance straps on a
+    # sub-lattice, tied down with via resistors (flip-chip style)
+    strap_nodes: "dict[tuple[int, int], int]" = {}
+    if config.num_layers == 2:
+        xs = list(range(0, nx, config.strap_pitch))
+        ys = list(range(0, ny, config.strap_pitch))
+        for x in xs:
+            for y in ys:
+                strap_nodes[(x, y)] = grid.node(f"n_{net}_m2_{x}_{y}")
+        strap_r = config.wire_resistance * config.strap_resistance_factor
+        for xi, x in enumerate(xs):
+            for yi, y in enumerate(ys):
+                here = strap_nodes[(x, y)]
+                if xi + 1 < len(xs):
+                    factor = rng.uniform(1.0 / (1.0 + jitter), 1.0 + jitter)
+                    grid.add_resistor(here, strap_nodes[(xs[xi + 1], y)], strap_r * factor)
+                if yi + 1 < len(ys):
+                    factor = rng.uniform(1.0 / (1.0 + jitter), 1.0 + jitter)
+                    grid.add_resistor(here, strap_nodes[(x, ys[yi + 1])], strap_r * factor)
+                grid.add_resistor(here, int(nodes[x, y]), config.via_resistance)
+
+    # pads on a coarse lattice (offset half a pitch from the border);
+    # with two layers the pads land on the top metal, as in flip-chip grids
+    pad_positions = [
+        (x, y)
+        for x in range(config.pad_pitch // 2, nx, config.pad_pitch)
+        for y in range(config.pad_pitch // 2, ny, config.pad_pitch)
+    ]
+    pad_set = set()
+    used_pad_nodes: set[int] = set()
+    for x, y in pad_positions:
+        if strap_nodes:
+            nearest = min(strap_nodes, key=lambda p: abs(p[0] - x) + abs(p[1] - y))
+            pad_node = strap_nodes[nearest]
+        else:
+            pad_node = int(nodes[x, y])
+        if pad_node not in used_pad_nodes:
+            grid.add_vsource(pad_node, supply, name=f"V_{net}_{x}_{y}")
+            used_pad_nodes.add(pad_node)
+        pad_set.add((x, y))
+
+    # loads at random non-pad nodes; the same current leaves VDD and
+    # returns into GND (sign convention: positive = drawn from node)
+    candidates = [(x, y) for x in range(nx) for y in range(ny) if (x, y) not in pad_set]
+    num_loads = max(1, int(round(config.load_fraction * len(candidates))))
+    chosen = rng.choice(len(candidates), size=num_loads, replace=False)
+    for rank, flat in enumerate(chosen):
+        x, y = candidates[int(flat)]
+        magnitude = config.load_current * rng.uniform(0.2, 1.0)
+        drawn = magnitude if is_vdd else -magnitude
+        waveform = None
+        dc_value = drawn
+        if config.transient:
+            delay = rng.uniform(0.0, config.pulse_period / 2)
+            waveform = PulseWaveform(
+                low=0.1 * drawn,
+                high=drawn,
+                delay=delay,
+                rise=config.pulse_rise,
+                width=config.pulse_width,
+                fall=config.pulse_rise,
+                period=config.pulse_period,
+            )
+            # SPICE has no separate DC for a PULSE source: keep dc equal to
+            # the waveform's t=0 value so netlists round-trip exactly
+            dc_value = float(waveform.value(0.0))
+        grid.add_isource(
+            int(nodes[x, y]), dc_value, waveform=waveform, name=f"I_{net}_{rank}"
+        )
+
+    if config.transient and config.decap > 0:
+        for x in range(nx):
+            for y in range(ny):
+                if (x, y) in pad_set:
+                    continue
+                farads = config.decap * rng.uniform(0.5, 1.5)
+                grid.add_capacitor(int(nodes[x, y]), farads)

@@ -1,0 +1,158 @@
+"""Reader/writer for the IBM power-grid SPICE subset.
+
+The IBM benchmarks (and the THU grids) use a tiny SPICE dialect::
+
+    R<id> <node_a> <node_b> <ohms>
+    C<id> <node_a> <node_b> <farads>
+    V<id> <node> 0 <volts>
+    I<id> <node> 0 <amps>                      (DC load)
+    I<id> <node> 0 PULSE(v1 v2 td tr pw tf per)   (transient load)
+    .op / .end / * comments
+
+Node ``0`` is ground.  Engineering suffixes (``k``, ``m``, ``u``, ``n``,
+``p``, ``f``, ``meg``) are understood.  :func:`read_spice` produces a
+:class:`~repro.powergrid.netlist.PowerGrid`; :func:`write_spice` emits a
+file the reader round-trips, so synthetic benchmarks can be exported for
+external tools.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.powergrid.netlist import GROUND, PowerGrid
+from repro.powergrid.waveforms import PulseWaveform, PWLWaveform
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_NUMBER_RE = re.compile(r"^([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)(meg|[tgkmunpf])?$")
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with optional engineering suffix."""
+    match = _NUMBER_RE.match(token.strip().lower())
+    if not match:
+        raise ValueError(f"cannot parse SPICE value {token!r}")
+    base = float(match.group(1))
+    suffix = match.group(2)
+    return base * _SUFFIXES[suffix] if suffix else base
+
+
+def _parse_waveform(spec: str):
+    """Parse ``PULSE(...)`` / ``PWL(...)`` argument strings."""
+    spec = spec.strip()
+    upper = spec.upper()
+    inner = spec[spec.index("(") + 1 : spec.rindex(")")]
+    values = [parse_value(tok) for tok in inner.replace(",", " ").split()]
+    if upper.startswith("PULSE"):
+        low, high, delay, rise, width, fall, period = values[:7]
+        return PulseWaveform(
+            low=low, high=high, delay=delay, rise=rise, width=width, fall=fall, period=period
+        )
+    if upper.startswith("PWL"):
+        times = values[0::2]
+        levels = values[1::2]
+        return PWLWaveform(times=times, values=levels)
+    raise ValueError(f"unsupported waveform {spec!r}")
+
+
+def read_spice(path: "str | Path") -> PowerGrid:
+    """Parse an IBM-PG-style SPICE file into a :class:`PowerGrid`."""
+    grid = PowerGrid()
+
+    def node_index(token: str) -> int:
+        if token == "0":
+            return GROUND
+        return grid.node(token)
+
+    with Path(path).open() as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("*"):
+                continue
+            if line.startswith("."):
+                if line.lower().startswith((".op", ".end", ".tran")):
+                    continue
+                continue  # ignore other cards
+            parts = line.split(None, 3)
+            kind = parts[0][0].upper()
+            if kind == "R":
+                a, b = node_index(parts[1]), node_index(parts[2])
+                ohms = parse_value(parts[3].split()[0])
+                if ohms <= 0:  # short: IBM files use tiny values instead of 0
+                    raise ValueError(f"nonpositive resistance in line: {line}")
+                grid.add_resistor(a, b, ohms)
+            elif kind == "C":
+                a, b = node_index(parts[1]), node_index(parts[2])
+                farads = parse_value(parts[3].split()[0])
+                if a == GROUND:
+                    a, b = b, a
+                grid.add_capacitor(a, farads, b=b)
+            elif kind == "V":
+                node = node_index(parts[1]) if parts[1] != "0" else node_index(parts[2])
+                volts = parse_value(parts[3].split()[0])
+                grid.add_vsource(node, volts, name=parts[0])
+            elif kind == "I":
+                node_token, other = parts[1], parts[2]
+                node = node_index(node_token) if node_token != "0" else node_index(other)
+                sign = 1.0 if node_token != "0" else -1.0
+                rest = parts[3].strip()
+                if rest.upper().startswith(("PULSE", "PWL")):
+                    waveform = _parse_waveform(rest)
+                    dc = float(waveform.value(0.0))
+                    grid.add_isource(node, sign * dc, waveform=waveform, name=parts[0])
+                else:
+                    grid.add_isource(
+                        node, sign * parse_value(rest.split()[0]), name=parts[0]
+                    )
+            else:
+                raise ValueError(f"unsupported SPICE card: {line}")
+    return grid
+
+
+def write_spice(grid: PowerGrid, path: "str | Path", title: str = "repro power grid") -> None:
+    """Emit a SPICE file in the IBM-PG subset that :func:`read_spice` reads."""
+
+    def node_token(index: int) -> str:
+        return "0" if index == GROUND else grid.name_of(index)
+
+    with Path(path).open("w") as handle:
+        handle.write(f"* {title}\n")
+        for i, (a, b, ohms) in enumerate(zip(grid.res_a, grid.res_b, grid.res_ohms)):
+            handle.write(f"R{i} {node_token(a)} {node_token(b)} {ohms:.10g}\n")
+        for i, (node, siemens) in enumerate(zip(grid.shunt_node, grid.shunt_siemens)):
+            handle.write(f"Rg{i} {node_token(node)} 0 {1.0 / siemens:.10g}\n")
+        for i, (a, b, farads) in enumerate(zip(grid.cap_a, grid.cap_b, grid.cap_farads)):
+            handle.write(f"C{i} {node_token(a)} {node_token(b)} {farads:.10g}\n")
+        for i, vs in enumerate(grid.vsources):
+            handle.write(f"V{i} {node_token(vs.node)} 0 {vs.voltage:.10g}\n")
+        for i, cs in enumerate(grid.isources):
+            if cs.waveform is None:
+                handle.write(f"I{i} {node_token(cs.node)} 0 {cs.dc:.10g}\n")
+            else:
+                wf = cs.waveform
+                if isinstance(wf, PulseWaveform):
+                    handle.write(
+                        f"I{i} {node_token(cs.node)} 0 PULSE({wf.low:.10g} {wf.high:.10g} "
+                        f"{wf.delay:.10g} {wf.rise:.10g} {wf.width:.10g} {wf.fall:.10g} "
+                        f"{wf.period:.10g})\n"
+                    )
+                elif isinstance(wf, PWLWaveform):
+                    pts = " ".join(
+                        f"{t:.10g} {v:.10g}" for t, v in zip(wf.times, wf.values)
+                    )
+                    handle.write(f"I{i} {node_token(cs.node)} 0 PWL({pts})\n")
+                else:
+                    handle.write(f"I{i} {node_token(cs.node)} 0 {cs.dc:.10g}\n")
+        handle.write(".op\n.end\n")

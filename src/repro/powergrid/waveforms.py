@@ -1,0 +1,102 @@
+"""Time-dependent source waveforms for transient analysis.
+
+IBM power-grid transient benchmarks drive the grid with pulse-like current
+sources.  Two concrete waveforms cover the needs of the reproduction:
+
+* :class:`PWLWaveform` — piece-wise linear, the SPICE ``PWL(...)`` form;
+* :class:`PulseWaveform` — the SPICE ``PULSE(...)`` trapezoid train.
+
+Waveforms are vectorised: ``value(t)`` accepts scalars or arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+class Waveform:
+    """Base class: a time-dependent scalar signal."""
+
+    def value(self, t):
+        """Evaluate the waveform at time(s) ``t`` (scalar or array)."""
+        raise NotImplementedError
+
+    def __call__(self, t):
+        return self.value(t)
+
+
+@dataclass(frozen=True)
+class ConstantWaveform(Waveform):
+    """A DC value, usable wherever a waveform is expected."""
+
+    level: float
+
+    def value(self, t):
+        t = np.asarray(t, dtype=np.float64)
+        return np.full_like(t, self.level, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class PWLWaveform(Waveform):
+    """Piece-wise linear waveform through ``(times, values)`` breakpoints.
+
+    Before the first breakpoint the waveform holds the first value; after
+    the last it holds the last value — SPICE ``PWL`` semantics.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self):
+        times = np.asarray(self.times, dtype=np.float64)
+        values = np.asarray(self.values, dtype=np.float64)
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+        require(times.shape == values.shape, "times and values must match")
+        require(times.size >= 1, "PWL needs at least one breakpoint")
+        require(bool(np.all(np.diff(times) > 0)), "PWL times must increase")
+
+    def value(self, t):
+        return np.interp(np.asarray(t, dtype=np.float64), self.times, self.values)
+
+
+@dataclass(frozen=True)
+class PulseWaveform(Waveform):
+    """SPICE ``PULSE(v1 v2 delay rise width fall period)`` trapezoid train."""
+
+    low: float
+    high: float
+    delay: float = 0.0
+    rise: float = 1e-12
+    width: float = 1e-9
+    fall: float = 1e-12
+    period: float = 2e-9
+
+    def __post_init__(self):
+        require(self.rise > 0 and self.fall > 0, "rise/fall must be positive")
+        require(
+            self.period >= self.rise + self.width + self.fall,
+            "period must contain rise + width + fall",
+        )
+
+    def value(self, t):
+        t = np.asarray(t, dtype=np.float64)
+        local = np.mod(t - self.delay, self.period)
+        local = np.where(t < self.delay, -1.0, local)  # before delay: low
+        out = np.full_like(local, self.low)
+        rising = (local >= 0) & (local < self.rise)
+        out = np.where(
+            rising, self.low + (self.high - self.low) * local / self.rise, out
+        )
+        flat = (local >= self.rise) & (local < self.rise + self.width)
+        out = np.where(flat, self.high, out)
+        t_fall = local - self.rise - self.width
+        falling = (t_fall >= 0) & (t_fall < self.fall)
+        out = np.where(
+            falling, self.high - (self.high - self.low) * t_fall / self.fall, out
+        )
+        return out

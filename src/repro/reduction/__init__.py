@@ -1,0 +1,35 @@
+"""Alg. 1 — graph-sparsification-based power-grid reduction.
+
+Modules:
+
+* :mod:`repro.reduction.schur` — exact elimination of non-port interior
+  nodes per block (step 2), with current-redistribution and capacitance
+  lumping maps;
+* :mod:`repro.reduction.port_merge` — effective-resistance-based merging of
+  electrically-near nodes (step 4a);
+* :mod:`repro.reduction.sparsify` — Spielman–Srivastava effective-resistance
+  sampling sparsification (step 4b);
+* :mod:`repro.reduction.stitch` — reassembly of reduced blocks plus the
+  untouched cross-block edges (step 5);
+* :mod:`repro.reduction.pipeline` — the orchestrating :class:`PGReducer`
+  with the pluggable effective-resistance backend ("exact" /
+  "random_projection" / "cholinv" — the three columns of Table II).
+"""
+
+from repro.reduction.pipeline import PGReducer, ReducedGrid, ReductionConfig
+from repro.reduction.port_merge import merge_by_effective_resistance
+from repro.reduction.quality import QualityReport, assess_reduction_quality
+from repro.reduction.schur import SchurReduction, schur_reduce
+from repro.reduction.sparsify import spielman_srivastava_sparsify
+
+__all__ = [
+    "PGReducer",
+    "ReducedGrid",
+    "ReductionConfig",
+    "schur_reduce",
+    "SchurReduction",
+    "merge_by_effective_resistance",
+    "spielman_srivastava_sparsify",
+    "assess_reduction_quality",
+    "QualityReport",
+]

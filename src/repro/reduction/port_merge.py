@@ -1,0 +1,118 @@
+"""Effective-resistance-based node merging (Alg. 1 step 4a).
+
+Nodes that are electrically almost indistinguishable — connected through a
+path of *tiny* effective resistance — can be collapsed into one without
+visibly changing port behaviour.  Following [8], candidate pairs are the
+edges of the (reduced) block whose effective resistance falls below a
+threshold; a union-find pass merges them, with the constraint that two
+*protected* nodes (ports, whose identity must survive per the modified
+Alg. 1) are never merged with each other.
+
+The merged graph accumulates parallel conductances; the mapping array lets
+the pipeline redirect sources, capacitors and cross-block edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+class _UnionFind:
+    """Union-find with protection-aware union (ports absorb non-ports)."""
+
+    def __init__(self, n: int, protected: np.ndarray):
+        self.parent = np.arange(n, dtype=np.int64)
+        self.protected = np.zeros(n, dtype=bool)
+        self.protected[protected] = True
+
+    def find(self, v: int) -> int:
+        root = v
+        while self.parent[root] != root:
+            root = int(self.parent[root])
+        while self.parent[v] != root:
+            self.parent[v], v = root, int(self.parent[v])
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.protected[ra] and self.protected[rb]:
+            return False  # never merge two ports
+        # the protected root (if any) absorbs the other
+        if self.protected[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        return True
+
+
+@dataclass
+class MergeResult:
+    """Outcome of a merging pass.
+
+    Attributes
+    ----------
+    graph:
+        The merged graph (parallel conductances coalesced).
+    mapping:
+        ``mapping[old] = new`` node index (new ids are compact ``0..n'-1``).
+    merged_count:
+        Number of nodes eliminated by merging.
+    """
+
+    graph: Graph
+    mapping: np.ndarray
+    merged_count: int
+
+
+def merge_by_effective_resistance(
+    graph: Graph,
+    edge_resistances: np.ndarray,
+    threshold: float,
+    protected: "np.ndarray | None" = None,
+) -> MergeResult:
+    """Merge endpoint pairs of edges with ``R_eff(e) <= threshold``.
+
+    Parameters
+    ----------
+    graph:
+        Weighted graph (conductances).
+    edge_resistances:
+        Effective resistance of each edge (any estimator's output).
+    threshold:
+        Absolute merge threshold; pairs at or below it collapse.
+    protected:
+        Nodes (ports) whose mutual identity is preserved: two protected
+        nodes never merge together, but a protected node absorbs
+        unprotected neighbours.
+    """
+    edge_resistances = np.asarray(edge_resistances, dtype=np.float64)
+    if protected is None:
+        protected = np.empty(0, dtype=np.int64)
+    uf = _UnionFind(graph.num_nodes, np.asarray(protected, dtype=np.int64))
+
+    candidates = np.flatnonzero(edge_resistances <= threshold)
+    # process the electrically-closest pairs first so chains collapse greedily
+    for e in candidates[np.argsort(edge_resistances[candidates])]:
+        uf.union(int(graph.heads[e]), int(graph.tails[e]))
+
+    roots = np.array([uf.find(v) for v in range(graph.num_nodes)], dtype=np.int64)
+    unique_roots, mapping = np.unique(roots, return_inverse=True)
+    # merging turns intra-cluster edges into self loops — drop them, then
+    # coalesce the parallel edges the collapse created
+    keep = mapping[graph.heads] != mapping[graph.tails]
+    merged_graph = Graph(
+        int(unique_roots.size),
+        mapping[graph.heads[keep]],
+        mapping[graph.tails[keep]],
+        graph.weights[keep],
+    ).coalesce()
+    return MergeResult(
+        graph=merged_graph,
+        mapping=mapping,
+        merged_count=graph.num_nodes - int(unique_roots.size),
+    )

@@ -1,0 +1,97 @@
+"""Step 5 of Alg. 1: stitch reduced blocks into one reduced power grid.
+
+Inputs are the per-block artefacts (edges, shunts, lumped caps, merge
+records, all in *original* node ids) plus the untouched cross-block edges
+of the original grid.  The stitcher:
+
+* resolves merge redirections (a node absorbed inside a block redirects
+  every cross-block edge and source that referenced it);
+* builds the compact reduced node set — every port survives by
+  construction;
+* rebuilds a :class:`~repro.powergrid.netlist.PowerGrid` with resistors
+  (conductance → 1/R), ground shunts, lumped capacitors, and the original
+  voltage/current sources re-addressed to reduced indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.powergrid.netlist import PowerGrid
+from repro.reduction.pipeline import BlockReduction, ReducedGrid
+
+
+def stitch_blocks(reducer, blocks: "list[BlockReduction]") -> ReducedGrid:
+    """Assemble the reduced grid (called by :meth:`PGReducer.reduce`)."""
+    pg = reducer.pg
+    graph = reducer.graph
+    labels = reducer.labels
+    n_original = pg.num_nodes
+
+    # ------------------------------------------------------------------
+    # merge redirection: original id -> surviving original id
+    redirect = np.arange(n_original, dtype=np.int64)
+    for block in blocks:
+        redirect[block.merged_away] = block.merge_target
+    # merge chains cannot occur (targets are cluster representatives), but
+    # apply twice defensively so any accidental chain resolves
+    redirect = redirect[redirect]
+
+    # ------------------------------------------------------------------
+    # surviving node set: kept nodes of every block that were not merged away
+    survives = np.zeros(n_original, dtype=bool)
+    for block in blocks:
+        survives[block.kept_nodes] = True
+    for block in blocks:
+        survives[block.merged_away] = False
+    survivors = np.flatnonzero(survives)
+    node_map = -np.ones(n_original, dtype=np.int64)
+    node_map[survivors] = np.arange(survivors.size)
+
+    reduced = PowerGrid()
+    for original in survivors:
+        reduced.node(pg.name_of(int(original)))
+
+    # ------------------------------------------------------------------
+    # block-internal (sparsified) resistors
+    for block in blocks:
+        for a, b, w in zip(block.heads, block.tails, block.conductances):
+            ra, rb = node_map[redirect[a]], node_map[redirect[b]]
+            if ra != rb and ra >= 0 and rb >= 0 and w > 0:
+                reduced.add_resistor(int(ra), int(rb), 1.0 / float(w))
+
+    # cross-block edges pass through unchanged (both endpoints are kept:
+    # any node with a crossing edge is interface or port by construction)
+    crossing = labels[graph.heads] != labels[graph.tails]
+    for a, b, w in zip(
+        graph.heads[crossing], graph.tails[crossing], graph.weights[crossing]
+    ):
+        ra, rb = node_map[redirect[a]], node_map[redirect[b]]
+        if ra != rb and ra >= 0 and rb >= 0:
+            reduced.add_resistor(int(ra), int(rb), 1.0 / float(w))
+
+    # ------------------------------------------------------------------
+    # shunts and lumped capacitance
+    for block in blocks:
+        for original, siemens in zip(block.kept_nodes, block.shunts):
+            target = node_map[redirect[original]]
+            if siemens > 0 and target >= 0:
+                reduced.add_resistor(int(target), -1, 1.0 / float(siemens))
+        for original, farads in zip(block.kept_nodes, block.lumped_caps):
+            target = node_map[redirect[original]]
+            if farads > 0 and target >= 0:
+                reduced.add_capacitor(int(target), float(farads))
+
+    # ------------------------------------------------------------------
+    # sources (ports survive: merging never collapses two ports and the
+    # representative of a port's cluster is the port itself)
+    for vs in pg.vsources:
+        target = node_map[redirect[vs.node]]
+        reduced.add_vsource(int(target), vs.voltage, name=vs.name)
+    for cs in pg.isources:
+        target = node_map[redirect[cs.node]]
+        reduced.add_isource(int(target), cs.dc, waveform=cs.waveform, name=cs.name)
+
+    return ReducedGrid(
+        grid=reduced, node_map=node_map, redirect=redirect, timer=reducer.timer
+    )

@@ -1,0 +1,20 @@
+"""Small shared utilities: timing, RNG handling, argument validation."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer, timed
+from repro.utils.validation import (
+    check_positive,
+    check_square_sparse,
+    check_symmetric,
+    require,
+)
+
+__all__ = [
+    "Timer",
+    "timed",
+    "ensure_rng",
+    "require",
+    "check_positive",
+    "check_square_sparse",
+    "check_symmetric",
+]

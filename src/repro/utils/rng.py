@@ -1,0 +1,37 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (graph generators, the JL random
+projection baseline, sparsification sampling, error estimation on random
+edges) accepts a ``seed`` argument that may be ``None``, an ``int`` or an
+already-constructed :class:`numpy.random.Generator`.  Funnelling everything
+through :func:`ensure_rng` keeps experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for fresh OS entropy, an integer for a reproducible stream,
+        or an existing generator which is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Used when a pipeline stage fans out into parallel sub-tasks (e.g. one
+    generator per power-grid block) so each sub-task has an independent,
+    reproducible stream.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

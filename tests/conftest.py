@@ -1,0 +1,54 @@
+"""Shared fixtures: small graphs with known structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs.generators import fe_mesh_2d, grid_2d, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.laplacian import grounded_laplacian
+
+
+@pytest.fixture
+def small_grid() -> Graph:
+    """8×8 unweighted grid — 64 nodes, structured."""
+    return grid_2d(8, 8)
+
+
+@pytest.fixture
+def weighted_mesh() -> Graph:
+    """Triangulated weighted mesh — irregular structure, deterministic."""
+    return fe_mesh_2d(7, 9, seed=42)
+
+
+@pytest.fixture
+def tiny_path() -> Graph:
+    """5-node path with unit weights; every quantity has a closed form."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def two_components() -> Graph:
+    """Two disjoint triangles on 6 nodes."""
+    edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+    return Graph.from_edges(6, edges)
+
+
+@pytest.fixture
+def spd_matrix() -> sp.csc_matrix:
+    """Reproducible small sparse SPD matrix (grounded mesh Laplacian)."""
+    graph = fe_mesh_2d(6, 6, seed=7)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    return matrix
+
+
+def random_spd(n: int, density: float, seed: int) -> sp.csc_matrix:
+    """Random sparse SPD helper used by several test modules."""
+    rng = np.random.default_rng(seed)
+    mask = sp.random(n, n, density=density, random_state=rng, data_rvs=lambda k: rng.uniform(-1, 1, k))
+    sym = sp.triu(mask, k=1)
+    sym = sym + sym.T
+    diag = np.abs(sym).sum(axis=1).A.ravel() + rng.uniform(0.5, 1.5, n)
+    return (sym + sp.diags(diag)).tocsc()

@@ -1,0 +1,107 @@
+"""Tests for Alg. 2 — the sparse approximate inverse of a Cholesky factor."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.cholesky.incomplete import ichol
+from repro.cholesky.numeric import cholesky
+from repro.core.approx_inverse import approximate_inverse
+from repro.core.error_bounds import column_error_report, theorem1_bound
+from repro.graphs.generators import fe_mesh_2d, grid_2d
+from repro.graphs.laplacian import grounded_laplacian
+
+
+@pytest.fixture
+def mesh_factor():
+    graph = fe_mesh_2d(8, 8, seed=11)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    return cholesky(matrix, ordering="amd")
+
+
+class TestExactLimit:
+    def test_eps_zero_gives_exact_inverse(self, mesh_factor):
+        z, _ = approximate_inverse(mesh_factor.lower, epsilon=0.0)
+        identity = (mesh_factor.lower @ z).toarray()
+        assert np.allclose(identity, np.eye(mesh_factor.n), atol=1e-9)
+
+    def test_eps_zero_dense_reference(self):
+        graph = grid_2d(5, 5)
+        matrix, _ = grounded_laplacian(graph, 1.0)
+        factor = cholesky(matrix, ordering="natural")
+        z, _ = approximate_inverse(factor.lower, epsilon=0.0)
+        reference = np.linalg.inv(factor.lower.toarray())
+        assert np.allclose(z.toarray(), reference, atol=1e-10)
+
+
+class TestStructure:
+    def test_lemma1_nonnegative(self, mesh_factor):
+        """Lemma 1: Z = L^{-1} of a Laplacian Cholesky factor is >= 0,
+        and truncation preserves nonnegativity."""
+        for eps in (0.0, 1e-3, 1e-1):
+            z, _ = approximate_inverse(mesh_factor.lower, epsilon=eps)
+            assert z.nnz == 0 or z.data.min() >= 0.0
+
+    def test_lower_triangular(self, mesh_factor):
+        z, _ = approximate_inverse(mesh_factor.lower, epsilon=1e-3)
+        assert sp.triu(z, k=1).nnz == 0
+
+    def test_diagonal_is_reciprocal(self, mesh_factor):
+        z, _ = approximate_inverse(mesh_factor.lower, epsilon=1e-3)
+        assert np.allclose(z.diagonal(), 1.0 / mesh_factor.lower.diagonal())
+
+    def test_truncation_reduces_nnz(self, mesh_factor):
+        z_exact, _ = approximate_inverse(mesh_factor.lower, epsilon=0.0)
+        z_small, _ = approximate_inverse(mesh_factor.lower, epsilon=1e-1)
+        assert z_small.nnz < z_exact.nnz
+
+
+class TestTheorem1:
+    def test_column_bound_holds(self, mesh_factor):
+        eps = 1e-2
+        z, _ = approximate_inverse(mesh_factor.lower, epsilon=eps)
+        report = column_error_report(
+            mesh_factor.lower, z, eps, sample_nodes=np.arange(mesh_factor.n)
+        )
+        assert report.max_violation <= 1e-10
+
+    def test_column_bound_holds_incomplete(self):
+        graph = fe_mesh_2d(9, 7, seed=5)
+        matrix, _ = grounded_laplacian(graph, 1.0)
+        result = ichol(matrix, drop_tol=1e-3, ordering="rcm")
+        eps = 5e-2
+        z, _ = approximate_inverse(result.lower, epsilon=eps)
+        report = column_error_report(
+            result.lower, z, eps, sample_nodes=np.arange(matrix.shape[0])
+        )
+        assert report.max_violation <= 1e-10
+
+    def test_bound_vector(self, mesh_factor):
+        bound = theorem1_bound(mesh_factor.lower, 1e-3)
+        assert bound.shape == (mesh_factor.n,)
+        assert np.all(bound >= 0)
+
+
+class TestInterface:
+    def test_stats(self, mesh_factor):
+        z, stats = approximate_inverse(mesh_factor.lower, epsilon=1e-3)
+        assert stats.nnz == z.nnz
+        assert stats.n == mesh_factor.n
+        assert stats.columns_truncated + stats.columns_kept_whole == mesh_factor.n
+        assert stats.nnz_per_nlogn > 0
+        assert stats.average_column_nnz == z.nnz / mesh_factor.n
+
+    def test_small_column_threshold_keeps_columns_whole(self, mesh_factor):
+        _, stats = approximate_inverse(
+            mesh_factor.lower, epsilon=0.5, small_column_threshold=float("inf")
+        )
+        assert stats.columns_truncated == 0
+
+    def test_negative_eps_raises(self, mesh_factor):
+        with pytest.raises(ValueError):
+            approximate_inverse(mesh_factor.lower, epsilon=-1e-3)
+
+    def test_rejects_bad_diagonal(self):
+        lower = sp.csc_matrix(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        with pytest.raises(ValueError):
+            approximate_inverse(lower, epsilon=0.0)

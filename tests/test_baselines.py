@@ -1,0 +1,105 @@
+"""Tests for the WWW'15 random-projection baseline and the naive method."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import NaivePerQueryResistance
+from repro.baselines.random_projection import (
+    RandomProjectionEffectiveResistance,
+    default_num_projections,
+)
+from repro.core.effective_resistance import ExactEffectiveResistance
+from repro.graphs.generators import fe_mesh_2d, grid_2d, path_graph
+from repro.graphs.graph import Graph
+
+
+class TestRandomProjection:
+    def test_concentrates_with_k(self, weighted_mesh):
+        exact = ExactEffectiveResistance(weighted_mesh)
+        pairs = weighted_mesh.edge_array()
+        truth = exact.query_pairs(pairs)
+        errors = []
+        for k in (50, 3200):
+            est = RandomProjectionEffectiveResistance(
+                weighted_mesh, num_projections=k, solver="splu", seed=0
+            )
+            rel = np.abs(est.query_pairs(pairs) - truth) / truth
+            errors.append(rel.mean())
+        assert errors[1] < errors[0]
+        assert errors[1] < 0.05
+
+    def test_unbiased_mean(self):
+        """Averaging independent JL estimates converges to the truth."""
+        graph = grid_2d(6, 6)
+        exact = ExactEffectiveResistance(graph).query(0, 35)
+        estimates = [
+            RandomProjectionEffectiveResistance(
+                graph, num_projections=200, solver="splu", seed=s
+            ).query(0, 35)
+            for s in range(12)
+        ]
+        assert np.isclose(np.mean(estimates), exact, rtol=0.08)
+
+    def test_deterministic_given_seed(self, small_grid):
+        a = RandomProjectionEffectiveResistance(small_grid, num_projections=64, solver="splu", seed=3)
+        b = RandomProjectionEffectiveResistance(small_grid, num_projections=64, solver="splu", seed=3)
+        assert np.allclose(a.embedding, b.embedding)
+
+    def test_projection_nnz(self, small_grid):
+        est = RandomProjectionEffectiveResistance(small_grid, num_projections=32, seed=1)
+        assert est.projection_nnz == 32 * small_grid.num_nodes
+
+    def test_default_k_formula(self):
+        assert default_num_projections(1000, c_jl=10.0) == int(
+            np.ceil(10.0 * np.log(1000))
+        )
+
+    def test_cross_component_inf(self, two_components):
+        est = RandomProjectionEffectiveResistance(
+            two_components, num_projections=16, seed=2
+        )
+        assert est.query(0, 3) == np.inf
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError):
+            RandomProjectionEffectiveResistance(Graph.from_edges(3, []))
+
+    def test_timer_sections(self, small_grid):
+        est = RandomProjectionEffectiveResistance(small_grid, num_projections=8, seed=0)
+        est.query(0, 1)
+        assert {"factorize", "projection_solves", "queries"} <= set(est.timer.times)
+
+    def test_pcg_and_splu_solvers_agree(self, small_grid):
+        """The CMG-style PCG substrate must give the same embedding as the
+        direct solver (same signs stream, tight PCG tolerance)."""
+        a = RandomProjectionEffectiveResistance(
+            small_grid, num_projections=16, solver="pcg", pcg_rtol=1e-12, seed=9
+        )
+        b = RandomProjectionEffectiveResistance(
+            small_grid, num_projections=16, solver="splu", seed=9
+        )
+        assert np.allclose(a.embedding, b.embedding, atol=1e-7)
+
+    def test_unknown_solver_rejected(self, small_grid):
+        with pytest.raises(ValueError, match="unknown solver"):
+            RandomProjectionEffectiveResistance(small_grid, num_projections=4, solver="qr")
+
+
+class TestNaive:
+    def test_matches_exact(self):
+        graph = fe_mesh_2d(5, 5, seed=9)
+        exact = ExactEffectiveResistance(graph)
+        naive = NaivePerQueryResistance(graph)
+        pairs = graph.edge_array()[:8]
+        assert np.allclose(
+            naive.query_pairs(pairs), exact.query_pairs(pairs), rtol=1e-6
+        )
+
+    def test_closed_form_path(self):
+        naive = NaivePerQueryResistance(path_graph(5))
+        assert np.isclose(naive.query(0, 4), 4.0, rtol=1e-8)
+
+    def test_cross_component_and_self(self, two_components):
+        naive = NaivePerQueryResistance(two_components)
+        assert naive.query(0, 5) == np.inf
+        assert naive.query(2, 2) == 0.0

@@ -1,0 +1,109 @@
+"""Tests for the benchmark harness itself (cases, runners, rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.cases import (
+    TABLE1_CASES,
+    TABLE2_CASES,
+    Table1Case,
+    PaperTable1Reference,
+    quick_table1_names,
+    quick_table2_names,
+)
+from repro.bench.fig1 import ascii_plot, run_fig1
+from repro.bench.reporting import format_table, format_value, speedup
+from repro.bench.table1 import render_table1, run_table1_case
+from repro.bench.table2 import run_table2_incremental, run_table2_transient
+from repro.graphs.generators import fe_mesh_2d
+
+
+class TestCasesRegistry:
+    def test_table1_cases_complete(self):
+        for name, case in TABLE1_CASES.items():
+            assert case.name == name
+            assert case.paper.alg3_ea < case.paper.baseline_ea  # paper's claim
+            graph = None  # builders are lazy — only check quick ones below
+            del graph
+
+    def test_quick_subsets_exist(self):
+        assert set(quick_table1_names()) <= set(TABLE1_CASES)
+        assert set(quick_table2_names()) <= set(TABLE2_CASES)
+
+    def test_builders_are_deterministic(self):
+        case = TABLE1_CASES["circuit-grid"]
+        a = case.builder()
+        b = case.builder()
+        assert np.allclose(a.weights, b.weights)
+
+    def test_table2_configs_valid(self):
+        for case in TABLE2_CASES.values():
+            assert case.config.nx >= 2
+            assert case.transient_steps == 1000  # the paper's protocol
+
+
+class TestReporting:
+    def test_format_value_ranges(self):
+        assert format_value(0.0) == "0"
+        assert "e" in format_value(1.5e-7)
+        assert format_value(3.14159) == "3.142"
+        assert format_value(123.456) == "123.5"
+        assert format_value("abc") == "abc"
+        assert format_value(42) == "42"
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbbb"], [[1, 2.5], [10, 0.25]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert all("|" in line for line in lines[1:] if "-+-" not in line)
+
+    def test_speedup_guard(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")
+
+
+class TestRunners:
+    def test_run_table1_case_tiny(self):
+        tiny = Table1Case(
+            name="tiny",
+            family="test",
+            builder=lambda: fe_mesh_2d(12, 12, seed=0),
+            stands_in_for="unit-test case",
+            paper=PaperTable1Reference(1, 1, 1, 1, 1, 1, 1, 0.5, 1, 1),
+        )
+        row = run_table1_case(
+            tiny, error_samples=60, baseline_c_jl=5.0, baseline_solver="splu", seed=0
+        )
+        assert row.nodes == 144
+        assert row.alg3_ea < 0.05
+        assert row.dpt > 0
+        rendered = render_table1([row], {"tiny": tiny})
+        assert "tiny" in rendered
+        assert "(paper)" in rendered
+
+    def test_run_table1_without_baseline(self):
+        tiny = Table1Case(
+            name="tiny2",
+            family="test",
+            builder=lambda: fe_mesh_2d(10, 10, seed=1),
+            stands_in_for="unit-test case",
+            paper=PaperTable1Reference(1, 1, 1, 1, 1, 1, 1, 0.5, 1, 1),
+        )
+        row = run_table1_case(tiny, error_samples=30, run_baseline=False, seed=0)
+        assert np.isnan(row.baseline_time)
+        assert row.alg3_time > 0
+
+
+class TestAsciiPlot:
+    def test_plot_contains_markers_and_legend(self):
+        times = np.linspace(0, 1, 50)
+        series = {"one": np.sin(times * 6), "two": np.cos(times * 6)}
+        art = ascii_plot(times, series, width=40, height=8, title="demo")
+        assert "demo" in art
+        assert "o one" in art
+        assert "x two" in art
+
+    def test_constant_series(self):
+        times = np.linspace(0, 1, 10)
+        art = ascii_plot(times, {"flat": np.ones(10)})
+        assert "flat" in art

@@ -1,0 +1,151 @@
+"""Tests for the numeric Cholesky engines (uplooking reference + SuperLU)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.cholesky.numeric import cholesky, cholesky_uplooking
+from repro.cholesky.ordering import (
+    compute_ordering,
+    inverse_permutation,
+    minimum_degree_ordering,
+    permute_symmetric,
+    rcm_ordering,
+)
+from repro.graphs.generators import fe_mesh_2d, grid_2d
+from repro.graphs.laplacian import grounded_laplacian
+from tests.conftest import random_spd
+
+
+class TestUplooking:
+    def test_matches_dense_cholesky(self):
+        matrix = random_spd(30, 0.15, seed=0)
+        factor = cholesky_uplooking(matrix)
+        dense = np.linalg.cholesky(matrix.toarray())
+        assert np.allclose(factor.lower.toarray(), dense, atol=1e-10)
+
+    def test_matches_dense_on_grounded_laplacian(self, spd_matrix):
+        factor = cholesky_uplooking(spd_matrix)
+        dense = np.linalg.cholesky(spd_matrix.toarray())
+        assert np.allclose(factor.lower.toarray(), dense, atol=1e-10)
+
+    def test_with_permutation(self, spd_matrix):
+        perm = rcm_ordering(spd_matrix)
+        factor = cholesky_uplooking(spd_matrix, perm=perm)
+        permuted = permute_symmetric(spd_matrix, perm)
+        reconstruction = (factor.lower @ factor.lower.T).toarray()
+        assert np.allclose(reconstruction, permuted.toarray(), atol=1e-10)
+
+    def test_rejects_indefinite(self):
+        matrix = sp.csc_matrix(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky_uplooking(matrix)
+
+    def test_solve(self, spd_matrix):
+        factor = cholesky_uplooking(spd_matrix)
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=spd_matrix.shape[0])
+        x = factor.solve(b)
+        assert np.allclose(spd_matrix @ x, b, atol=1e-8)
+
+
+class TestSuperluEngine:
+    def test_agrees_with_uplooking(self, spd_matrix):
+        perm = compute_ordering(spd_matrix, "rcm")
+        fast = cholesky(spd_matrix, perm=perm, engine="superlu")
+        slow = cholesky(spd_matrix, perm=perm, engine="uplooking")
+        assert np.allclose(fast.lower.toarray(), slow.lower.toarray(), atol=1e-9)
+
+    def test_solve_matches_direct(self, spd_matrix):
+        factor = cholesky(spd_matrix, ordering="amd")
+        rng = np.random.default_rng(2)
+        b = rng.normal(size=spd_matrix.shape[0])
+        x = factor.solve(b)
+        assert np.allclose(spd_matrix @ x, b, atol=1e-8)
+
+    def test_solve_2d_rhs(self, spd_matrix):
+        factor = cholesky(spd_matrix, ordering="rcm")
+        rng = np.random.default_rng(3)
+        b = rng.normal(size=(spd_matrix.shape[0], 4))
+        x = factor.solve(b)
+        assert np.allclose(spd_matrix @ x, b, atol=1e-8)
+
+    def test_logdet(self):
+        matrix = random_spd(20, 0.2, seed=5)
+        factor = cholesky(matrix, ordering="natural")
+        sign, expected = np.linalg.slogdet(matrix.toarray())
+        assert sign > 0
+        assert np.isclose(factor.logdet(), expected)
+
+    def test_unknown_engine(self, spd_matrix):
+        with pytest.raises(ValueError, match="unknown engine"):
+            cholesky(spd_matrix, engine="nope")
+
+    def test_half_solve_norm_gives_quadratic_form(self, spd_matrix):
+        """||L^{-1} P b||^2 must equal b^T A^{-1} b (basis of Eq. 7)."""
+        factor = cholesky(spd_matrix, ordering="amd")
+        rng = np.random.default_rng(4)
+        b = rng.normal(size=spd_matrix.shape[0])
+        y = factor.half_solve(b)
+        direct = float(b @ factor.solve(b))
+        assert np.isclose(float(y @ y), direct, rtol=1e-8)
+
+
+class TestOrderings:
+    def test_all_orderings_are_permutations(self, spd_matrix):
+        n = spd_matrix.shape[0]
+        for method in ("natural", "rcm", "amd"):
+            perm = compute_ordering(spd_matrix, method)
+            assert np.array_equal(np.sort(perm), np.arange(n))
+
+    def test_unknown_method(self, spd_matrix):
+        with pytest.raises(ValueError, match="unknown ordering"):
+            compute_ordering(spd_matrix, "zzz")
+
+    def test_inverse_permutation(self):
+        perm = np.array([2, 0, 3, 1])
+        inv = inverse_permutation(perm)
+        assert np.array_equal(perm[inv], np.arange(4))
+        assert np.array_equal(inv[perm], np.arange(4))
+
+    def test_permute_symmetric_values(self):
+        matrix = random_spd(10, 0.3, seed=8)
+        perm = np.random.default_rng(0).permutation(10)
+        permuted = permute_symmetric(matrix, perm)
+        dense = matrix.toarray()
+        assert np.allclose(permuted.toarray(), dense[np.ix_(perm, perm)])
+
+    def test_minimum_degree_reduces_fill_on_grid(self):
+        graph = grid_2d(12, 12)
+        matrix, _ = grounded_laplacian(graph, 1.0)
+        natural = cholesky(matrix, ordering="natural").nnz
+        mindeg = cholesky(matrix, ordering="amd").nnz
+        assert mindeg < natural
+
+    def test_minimum_degree_star_center_near_last(self):
+        """On a star the centre (initial degree n-1) is eliminated among the
+        last two pivots — it only ties with the final leaf at degree 1."""
+        from repro.graphs.generators import star_graph
+
+        matrix, _ = grounded_laplacian(star_graph(9), 1.0)
+        perm = minimum_degree_ordering(matrix)
+        assert int(np.flatnonzero(perm == 0)[0]) >= 7
+
+
+class TestFactorProperties:
+    def test_laplacian_factor_sign_structure(self, weighted_mesh):
+        """Cholesky factor of an SDD M-matrix: positive diagonal,
+        nonpositive off-diagonal (the paper's Lemma 1 precondition)."""
+        matrix, _ = grounded_laplacian(weighted_mesh, 1.0)
+        factor = cholesky(matrix, ordering="amd")
+        lower = factor.lower.tocoo()
+        diag_mask = lower.row == lower.col
+        assert np.all(lower.data[diag_mask] > 0)
+        assert np.all(lower.data[~diag_mask] <= 1e-12)
+
+    def test_reconstruction(self, weighted_mesh):
+        matrix, _ = grounded_laplacian(weighted_mesh, 1.0)
+        factor = cholesky(matrix, ordering="rcm")
+        permuted = permute_symmetric(matrix, factor.perm)
+        reconstruction = (factor.lower @ factor.lower.T).toarray()
+        assert np.allclose(reconstruction, permuted.toarray(), atol=1e-10)

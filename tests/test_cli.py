@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.powergrid.generators import synthetic_ibmpg_like
+from repro.powergrid.spice import read_spice, write_spice
+
+
+@pytest.fixture
+def netlist(tmp_path):
+    grid = synthetic_ibmpg_like(nx=10, ny=10, pad_pitch=5, transient=True, seed=0)
+    path = tmp_path / "grid.sp"
+    write_spice(grid, path)
+    return path
+
+
+class TestER:
+    def test_all_edges_to_csv(self, tmp_path, capsys):
+        out = tmp_path / "er.csv"
+        code = main([
+            "er", "--generator", "grid2d:8x8", "--method", "cholinv",
+            "--output", str(out),
+        ])
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert lines[0] == "p,q,r_eff"
+        assert len(lines) == 1 + 2 * 7 * 8  # edges of an 8x8 grid
+
+    def test_explicit_pairs_stdout(self, capsys):
+        code = main([
+            "er", "--generator", "grid2d:5x5", "--method", "exact",
+            "--pairs", "0,24", "0,1",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        p, q, r = lines[1].split(",")
+        assert (p, q) == ("0", "24")
+        assert float(r) > 0
+
+    def test_methods_agree(self, tmp_path):
+        out_a = tmp_path / "a.csv"
+        out_b = tmp_path / "b.csv"
+        main(["er", "--generator", "grid2d:6x6", "--method", "exact",
+              "--output", str(out_a)])
+        main(["er", "--generator", "grid2d:6x6", "--method", "cholinv",
+              "--epsilon", "0", "--drop-tol", "0", "--output", str(out_b)])
+        a = np.loadtxt(out_a, delimiter=",", skiprows=1)
+        b = np.loadtxt(out_b, delimiter=",", skiprows=1)
+        assert np.allclose(a, b, rtol=1e-8)
+
+    def test_unknown_generator(self):
+        with pytest.raises(SystemExit):
+            main(["er", "--generator", "torus:3"])
+
+
+class TestPowerGridCommands:
+    def test_dc(self, netlist, capsys):
+        assert main(["dc", str(netlist), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "max IR drop" in out
+        assert "worst 3 nodes" in out
+
+    def test_transient(self, netlist, capsys):
+        assert main(["transient", str(netlist), "--steps", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "port swings" in out
+
+    def test_reduce_round_trip(self, netlist, tmp_path, capsys):
+        out_path = tmp_path / "reduced.sp"
+        code = main([
+            "reduce", str(netlist), "--output", str(out_path),
+            "--er-method", "cholinv",
+        ])
+        assert code == 0
+        reduced = read_spice(out_path)
+        original = read_spice(netlist)
+        assert reduced.num_nodes < original.num_nodes
+        assert len(reduced.vsources) == len(original.vsources)
+
+
+class TestBenchCommands:
+    def test_fig1(self, tmp_path, capsys):
+        out = tmp_path / "fig1.csv"
+        code = main(["fig1", "--case", "pg2-like", "--steps", "20",
+                     "--output", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "VDD node" in printed
+        assert "GND node" in printed
+        assert out.exists()
+
+    def test_table1_unknown_case(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--case", "nope"])

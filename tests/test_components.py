@@ -1,0 +1,51 @@
+"""Tests for connected-component utilities."""
+
+import numpy as np
+
+from repro.graphs.components import connected_components, is_connected, largest_component
+from repro.graphs.graph import Graph
+
+
+def test_connected_grid(small_grid):
+    labels, count = connected_components(small_grid)
+    assert count == 1
+    assert np.all(labels == labels[0])
+    assert is_connected(small_grid)
+
+
+def test_two_triangles(two_components):
+    labels, count = connected_components(two_components)
+    assert count == 2
+    assert labels[0] == labels[1] == labels[2]
+    assert labels[3] == labels[4] == labels[5]
+    assert labels[0] != labels[3]
+    assert not is_connected(two_components)
+
+
+def test_isolated_nodes():
+    g = Graph.from_edges(4, [(0, 1)])
+    labels, count = connected_components(g)
+    assert count == 3
+    assert labels[0] == labels[1]
+
+
+def test_edgeless_graph():
+    g = Graph.from_edges(3, [])
+    labels, count = connected_components(g)
+    assert count == 3
+    assert np.array_equal(np.sort(labels), [0, 1, 2])
+
+
+def test_largest_component():
+    edges = [(0, 1), (1, 2), (2, 3), (4, 5)]
+    g = Graph.from_edges(6, edges)
+    sub, original = largest_component(g)
+    assert sub.num_nodes == 4
+    assert np.array_equal(original, [0, 1, 2, 3])
+    assert sub.num_edges == 3
+
+
+def test_largest_component_connected_graph_is_identity(small_grid):
+    sub, original = largest_component(small_grid)
+    assert sub is small_grid
+    assert np.array_equal(original, np.arange(64))

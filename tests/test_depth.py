@@ -1,0 +1,68 @@
+"""Tests for the filled-graph depth (Eq. 11)."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cholesky.depth import filled_graph_depth, max_depth
+from repro.cholesky.etree import elimination_tree, tree_depths
+from repro.cholesky.incomplete import ichol
+from repro.cholesky.numeric import cholesky
+from repro.graphs.generators import fe_mesh_2d, grid_2d, star_graph
+from repro.graphs.laplacian import grounded_laplacian
+
+
+def test_bidiagonal_depth_is_position():
+    """A path in natural order factors with a bidiagonal L: depth = n-1-p."""
+    graph = grid_2d(1, 7)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    factor = cholesky(matrix, ordering="natural")
+    depth = filled_graph_depth(factor.lower)
+    assert np.array_equal(depth, np.arange(6, -1, -1))
+
+
+def test_matches_tree_depths_for_complete_factor():
+    graph = fe_mesh_2d(6, 6, seed=1)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    factor = cholesky(matrix, ordering="natural")
+    from_pattern = filled_graph_depth(factor.lower)
+    from_tree = tree_depths(elimination_tree(matrix))
+    assert np.array_equal(from_pattern, from_tree)
+
+
+def test_incomplete_factor_depth_not_larger():
+    """Dropping entries can only remove depth-chain links."""
+    graph = fe_mesh_2d(8, 8, seed=2)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    complete = cholesky(matrix, ordering="rcm")
+    incomplete = ichol(matrix, drop_tol=5e-2, ordering="rcm")
+    assert max_depth(incomplete.lower) <= max_depth(complete.lower)
+
+
+def test_diagonal_factor_depth_zero():
+    lower = sp.identity(5, format="csc")
+    assert np.array_equal(filled_graph_depth(lower), np.zeros(5, dtype=np.int64))
+    assert max_depth(lower) == 0
+
+
+def test_star_depth_is_one_with_center_last():
+    """Star with centre eliminated last: every leaf column has exactly one
+    sub-diagonal entry pointing at the root."""
+    matrix, _ = grounded_laplacian(star_graph(8), 1.0)
+    perm = np.array([1, 2, 3, 4, 5, 6, 7, 0])
+    factor = cholesky(matrix, perm=perm)
+    depth = filled_graph_depth(factor.lower)
+    assert depth[-1] == 0
+    assert np.all(depth[:-1] == 1)
+
+
+def test_depth_decreases_toward_root(spd_matrix):
+    """depth(p) = 1 + max over column pattern — spot-check the recurrence."""
+    factor = cholesky(spd_matrix, ordering="amd")
+    depth = filled_graph_depth(factor.lower)
+    csc = sp.csc_matrix(sp.tril(factor.lower, k=-1))
+    for p in range(csc.shape[0]):
+        rows = csc.indices[csc.indptr[p] : csc.indptr[p + 1]]
+        if rows.size:
+            assert depth[p] == 1 + depth[rows].max()
+        else:
+            assert depth[p] == 0

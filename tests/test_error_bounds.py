@@ -1,0 +1,106 @@
+"""Tests for the Theorem 1 / Eq. 25-26 error machinery."""
+
+import numpy as np
+
+from repro.cholesky.numeric import cholesky
+from repro.core.approx_inverse import approximate_inverse
+from repro.core.effective_resistance import (
+    CholInvEffectiveResistance,
+    ExactEffectiveResistance,
+)
+from repro.core.error_bounds import (
+    alpha_coefficient,
+    cholinv_error_budget,
+    column_error_report,
+    estimate_query_errors,
+    theorem1_bound,
+)
+from repro.graphs.generators import fe_mesh_2d
+from repro.graphs.laplacian import grounded_laplacian
+
+
+def make_factor(seed=0):
+    graph = fe_mesh_2d(7, 7, seed=seed)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    return graph, cholesky(matrix, ordering="amd")
+
+
+class TestTheorem1Bound:
+    def test_scales_linearly_with_eps(self):
+        _, factor = make_factor()
+        b1 = theorem1_bound(factor.lower, 1e-3)
+        b2 = theorem1_bound(factor.lower, 2e-3)
+        assert np.allclose(b2, 2 * b1)
+
+    def test_report_measured_below_bound(self):
+        _, factor = make_factor()
+        eps = 5e-2
+        z, _ = approximate_inverse(factor.lower, epsilon=eps)
+        report = column_error_report(factor.lower, z, eps, seed=1, max_samples=30)
+        assert report.max_violation <= 1e-10
+        assert report.measured.shape == report.bound.shape
+
+    def test_tightness_finite_when_bound_positive(self):
+        _, factor = make_factor()
+        eps = 1e-2
+        z, _ = approximate_inverse(factor.lower, epsilon=eps)
+        report = column_error_report(factor.lower, z, eps, seed=2, max_samples=20)
+        positive = report.bound > 0
+        assert np.all(report.tightness[positive] <= 1.0 + 1e-9)
+
+
+class TestAlphaCoefficient:
+    def test_nonnegative(self):
+        _, factor = make_factor()
+        assert alpha_coefficient(factor.lower, 0, 10) >= 0.0
+
+    def test_eq26_bound_holds_empirically(self):
+        """|R̃/R − 1| ≤ α_pq·ε + o(ε) — check at small ε with exact depth."""
+        graph, factor = make_factor(seed=3)
+        eps = 1e-4
+        z, _ = approximate_inverse(factor.lower, epsilon=eps)
+        exact_est = ExactEffectiveResistance(graph)
+        approx_est = CholInvEffectiveResistance(graph, epsilon=eps, drop_tol=0.0)
+        rng = np.random.default_rng(0)
+        n = graph.num_nodes
+        inv_position = approx_est._position
+        for _ in range(10):
+            p, q = rng.choice(n, size=2, replace=False)
+            alpha = alpha_coefficient(
+                factor.lower, int(inv_position[p]), int(inv_position[q])
+            )
+            rel = abs(approx_est.query(p, q) / exact_est.query(p, q) - 1.0)
+            assert rel <= alpha * eps + 1e-6
+
+
+class TestQueryErrorEstimate:
+    def test_estimator_protocol(self, weighted_mesh):
+        est = CholInvEffectiveResistance(weighted_mesh, epsilon=1e-3, drop_tol=1e-3)
+        report = estimate_query_errors(est, weighted_mesh, num_samples=50, seed=4)
+        assert report.average <= report.maximum
+        assert report.sample_size == 50
+        assert report.average < 0.05
+
+    def test_sample_capped_at_edge_count(self, tiny_path):
+        est = ExactEffectiveResistance(tiny_path)
+        report = estimate_query_errors(est, tiny_path, num_samples=100, seed=5)
+        assert report.sample_size == tiny_path.num_edges
+        assert report.maximum < 1e-9  # exact vs exact
+
+    def test_reuses_prebuilt_exact_engine(self, weighted_mesh):
+        exact = ExactEffectiveResistance(weighted_mesh)
+        est = CholInvEffectiveResistance(weighted_mesh)
+        report = estimate_query_errors(
+            est, weighted_mesh, num_samples=20, seed=6, exact=exact
+        )
+        assert report.sample_size == 20
+
+
+def test_error_budget_summary(weighted_mesh):
+    est = CholInvEffectiveResistance(weighted_mesh, epsilon=1e-3, drop_tol=1e-3)
+    budget = cholinv_error_budget(est)
+    assert budget["epsilon"] == 1e-3
+    assert budget["max_depth"] == est.max_depth
+    assert np.isclose(
+        budget["worst_case_column_bound"], est.max_depth * 1e-3
+    )

@@ -1,0 +1,89 @@
+"""Tests for elimination-tree analysis against brute-force references."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cholesky.etree import column_counts, elimination_tree, postorder, tree_depths
+from repro.graphs.generators import fe_mesh_2d, grid_2d
+from repro.graphs.laplacian import grounded_laplacian
+from tests.conftest import random_spd
+
+
+def boolean_fill(matrix: sp.spmatrix) -> np.ndarray:
+    """Brute-force symbolic elimination: returns the filled lower pattern."""
+    n = matrix.shape[0]
+    pattern = matrix.toarray() != 0
+    np.fill_diagonal(pattern, True)
+    pattern = pattern | pattern.T
+    for j in range(n):
+        below = np.flatnonzero(pattern[j + 1 :, j]) + j + 1
+        for a in below:
+            pattern[a, below] = True
+    return np.tril(pattern)
+
+
+def reference_parent(filled_lower: np.ndarray) -> np.ndarray:
+    """Elimination tree straight from the filled pattern."""
+    n = filled_lower.shape[0]
+    parent = -np.ones(n, dtype=np.int64)
+    for j in range(n):
+        below = np.flatnonzero(filled_lower[j + 1 :, j])
+        if below.size:
+            parent[j] = below[0] + j + 1
+    return parent
+
+
+class TestEliminationTree:
+    def test_against_brute_force_spd(self):
+        matrix = random_spd(40, 0.1, seed=3)
+        filled = boolean_fill(matrix)
+        assert np.array_equal(elimination_tree(matrix), reference_parent(filled))
+
+    def test_against_brute_force_mesh(self):
+        graph = fe_mesh_2d(5, 6, seed=2)
+        matrix, _ = grounded_laplacian(graph, 1.0)
+        filled = boolean_fill(matrix)
+        assert np.array_equal(elimination_tree(matrix), reference_parent(filled))
+
+    def test_path_graph_is_a_path_tree(self):
+        graph = grid_2d(1, 6)  # path of 6 nodes
+        matrix, _ = grounded_laplacian(graph, 1.0)
+        parent = elimination_tree(matrix)
+        assert np.array_equal(parent, [1, 2, 3, 4, 5, -1])
+
+    def test_parents_are_larger(self, spd_matrix):
+        parent = elimination_tree(spd_matrix)
+        nodes = np.flatnonzero(parent >= 0)
+        assert np.all(parent[nodes] > nodes)
+
+
+class TestPostorder:
+    def test_children_before_parents(self, spd_matrix):
+        parent = elimination_tree(spd_matrix)
+        post = postorder(parent)
+        position = np.empty_like(post)
+        position[post] = np.arange(post.shape[0])
+        for v, p in enumerate(parent):
+            if p != -1:
+                assert position[v] < position[p]
+
+    def test_is_permutation(self, spd_matrix):
+        parent = elimination_tree(spd_matrix)
+        post = postorder(parent)
+        assert np.array_equal(np.sort(post), np.arange(parent.shape[0]))
+
+
+class TestDepthsAndCounts:
+    def test_tree_depths_path(self):
+        parent = np.array([1, 2, 3, -1])
+        assert np.array_equal(tree_depths(parent), [3, 2, 1, 0])
+
+    def test_tree_depths_forest(self):
+        parent = np.array([2, 2, -1, -1])
+        assert np.array_equal(tree_depths(parent), [1, 1, 0, 0])
+
+    def test_column_counts_match_filled_pattern(self):
+        matrix = random_spd(35, 0.12, seed=9)
+        filled = boolean_fill(matrix)
+        expected = filled.sum(axis=0)
+        assert np.array_equal(column_counts(matrix), expected)

@@ -1,0 +1,36 @@
+"""Smoke tests: the fast examples must run end-to-end as subprocesses.
+
+Only the quick examples are exercised here (the heavier ones run the same
+code paths covered by the integration tests); each is executed exactly as
+a user would run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = ["graph_sparsification.py", "incremental_design.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_importable():
+    """Every example compiles (syntax + imports resolve lazily)."""
+    import py_compile
+
+    for script in EXAMPLES.glob("*.py"):
+        py_compile.compile(str(script), doraise=True)

@@ -1,0 +1,142 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.components import is_connected
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    fe_mesh_2d,
+    fe_mesh_3d,
+    grid_2d,
+    grid_3d,
+    path_graph,
+    random_geometric_graph,
+    rmat_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = path_graph(6, weight=2.0)
+        assert g.num_nodes == 6
+        assert g.num_edges == 5
+        assert np.all(g.weights == 2.0)
+        assert is_connected(g)
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7
+        assert np.all(g.degrees() == 2.0)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(9)
+        assert g.num_edges == 8
+        assert g.degrees()[0] == 8.0
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert np.all(g.degrees() == 5.0)
+
+
+class TestGrids:
+    def test_grid_2d_counts(self):
+        g = grid_2d(4, 5)
+        assert g.num_nodes == 20
+        assert g.num_edges == 4 * 4 + 3 * 5  # horizontal + vertical
+        assert is_connected(g)
+
+    def test_grid_2d_jitter_bounds(self):
+        g = grid_2d(6, 6, jitter=0.5, seed=3)
+        assert np.all(g.weights >= 1.0 / 1.5 - 1e-12)
+        assert np.all(g.weights <= 1.5 + 1e-12)
+
+    def test_grid_2d_deterministic(self):
+        a = grid_2d(5, 5, jitter=0.2, seed=11)
+        b = grid_2d(5, 5, jitter=0.2, seed=11)
+        assert np.allclose(a.weights, b.weights)
+
+    def test_grid_3d_counts(self):
+        g = grid_3d(3, 4, 5)
+        assert g.num_nodes == 60
+        expected = 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4
+        assert g.num_edges == expected
+        assert is_connected(g)
+
+
+class TestMeshes:
+    def test_fe_mesh_2d(self):
+        g = fe_mesh_2d(6, 8, seed=0)
+        grid_edges = 5 * 8 + 6 * 7
+        assert g.num_edges == grid_edges + 5 * 7  # one diagonal per cell
+        assert is_connected(g)
+        assert np.all(g.weights > 0)
+
+    def test_fe_mesh_2d_weight_range(self):
+        g = fe_mesh_2d(5, 5, weight_low=0.25, weight_high=4.0, seed=1)
+        assert g.weights.min() >= 0.25 - 1e-12
+        assert g.weights.max() <= 4.0 + 1e-12
+
+    def test_fe_mesh_3d(self):
+        g = fe_mesh_3d(3, 3, 3, seed=0)
+        assert g.num_nodes == 27
+        assert is_connected(g)
+
+
+class TestRandomFamilies:
+    def test_barabasi_albert(self):
+        g = barabasi_albert_graph(300, attachments=3, seed=5)
+        assert g.num_nodes == 300
+        assert is_connected(g)
+        # preferential attachment must produce a heavy tail: max degree
+        # well above the mean
+        unweighted_degrees = np.bincount(
+            np.concatenate([g.heads, g.tails]), minlength=300
+        )
+        assert unweighted_degrees.max() > 4 * unweighted_degrees.mean()
+
+    def test_barabasi_albert_deterministic(self):
+        a = barabasi_albert_graph(100, seed=9)
+        b = barabasi_albert_graph(100, seed=9)
+        assert np.array_equal(a.heads, b.heads)
+        assert np.array_equal(a.tails, b.tails)
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz_graph(200, neighbours=4, rewire_prob=0.2, seed=2)
+        assert g.num_nodes == 200
+        assert is_connected(g)  # ring backbone preserved
+
+    def test_watts_strogatz_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, neighbours=3)
+
+    def test_rmat(self):
+        g = rmat_graph(8, edge_factor=6, seed=4)
+        assert g.num_nodes == 256
+        assert is_connected(g)  # the connect path guarantees it
+        degrees = np.bincount(np.concatenate([g.heads, g.tails]), minlength=256)
+        assert degrees.max() > 3 * degrees.mean()  # skewed degrees
+
+    def test_rmat_probability_validation(self):
+        with pytest.raises(ValueError):
+            rmat_graph(4, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+    def test_random_geometric(self):
+        g = random_geometric_graph(150, radius=0.2, seed=8)
+        assert g.num_nodes == 150
+        assert g.num_edges > 0
+        assert np.all(g.weights > 0)
+
+    def test_random_geometric_weight_is_inverse_distance(self):
+        g = random_geometric_graph(80, radius=0.3, seed=8)
+        # conductance = 1/distance, and all distances < radius
+        assert np.all(g.weights > 1.0 / 0.3 - 1e-9)

@@ -1,0 +1,71 @@
+"""Tests for graph workload characterisation."""
+
+import numpy as np
+
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    grid_2d,
+    path_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import (
+    bfs_eccentricity,
+    estimate_clustering,
+    estimate_diameter,
+    graph_stats,
+)
+
+
+class TestDiameter:
+    def test_path_exact(self):
+        assert estimate_diameter(path_graph(10)) == 9
+
+    def test_cycle_exact(self):
+        assert estimate_diameter(cycle_graph(12)) == 6
+
+    def test_complete_graph(self):
+        assert estimate_diameter(complete_graph(8)) == 1
+
+    def test_grid_lower_bound(self):
+        # true diameter of a 6x6 grid is 10; double sweep finds it
+        assert estimate_diameter(grid_2d(6, 6)) == 10
+
+    def test_edgeless(self):
+        assert estimate_diameter(Graph.from_edges(3, [])) == 0
+
+    def test_eccentricity(self):
+        ecc, far = bfs_eccentricity(path_graph(7), 0)
+        assert ecc == 6
+        assert far == 6
+
+
+class TestClustering:
+    def test_complete_graph_is_one(self):
+        assert np.isclose(estimate_clustering(complete_graph(10)), 1.0)
+
+    def test_tree_is_zero(self):
+        assert estimate_clustering(path_graph(20)) == 0.0
+
+    def test_triangle(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert np.isclose(estimate_clustering(g), 1.0)
+
+
+class TestStats:
+    def test_grid_stats(self):
+        stats = graph_stats(grid_2d(5, 5))
+        assert stats.num_nodes == 25
+        assert stats.num_edges == 40
+        assert stats.max_degree == 4
+        assert stats.weight_spread == 1.0
+        assert "n=25" in stats.summary()
+
+    def test_heavy_tail_visible(self):
+        stats = graph_stats(barabasi_albert_graph(500, 3, seed=0))
+        assert stats.max_degree > 3 * stats.average_degree
+
+    def test_weight_spread(self):
+        g = Graph.from_edges(3, [(0, 1, 0.1), (1, 2, 10.0)])
+        assert np.isclose(graph_stats(g).weight_spread, 100.0)

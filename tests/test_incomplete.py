@@ -1,0 +1,126 @@
+"""Tests for the threshold incomplete Cholesky (ICT) factorisation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.cholesky.incomplete import CholeskyBreakdownError, ic0, ichol
+from repro.cholesky.numeric import cholesky
+from repro.cholesky.ordering import permute_symmetric
+from repro.graphs.generators import fe_mesh_2d, grid_2d
+from repro.graphs.laplacian import grounded_laplacian
+from repro.linalg.pcg import ichol_preconditioner, pcg
+
+
+class TestExactLimit:
+    def test_zero_droptol_equals_complete_factor(self, spd_matrix):
+        incomplete = ichol(spd_matrix, drop_tol=0.0, ordering="natural")
+        complete = cholesky(spd_matrix, ordering="natural")
+        assert np.allclose(
+            incomplete.lower.toarray(), complete.lower.toarray(), atol=1e-9
+        )
+
+    def test_zero_droptol_with_ordering(self, spd_matrix):
+        incomplete = ichol(spd_matrix, drop_tol=0.0, ordering="rcm")
+        complete = cholesky(spd_matrix, ordering="rcm")
+        assert np.allclose(
+            incomplete.lower.toarray(), complete.lower.toarray(), atol=1e-9
+        )
+
+
+class TestDropping:
+    def test_droptol_reduces_nnz(self, weighted_mesh):
+        matrix, _ = grounded_laplacian(weighted_mesh, 1.0)
+        exact = ichol(matrix, drop_tol=0.0, ordering="rcm")
+        dropped = ichol(matrix, drop_tol=1e-2, ordering="rcm")
+        assert dropped.nnz < exact.nnz
+
+    def test_residual_scales_with_droptol(self):
+        graph = grid_2d(10, 10)
+        matrix, _ = grounded_laplacian(graph, 1.0)
+        residuals = []
+        for tol in (1e-1, 1e-2, 1e-3):
+            result = ichol(matrix, drop_tol=tol, ordering="rcm")
+            permuted = permute_symmetric(matrix, result.perm)
+            residual = permuted - result.lower @ result.lower.T
+            residuals.append(abs(residual).max())
+        assert residuals[0] > residuals[1] > residuals[2]
+
+    def test_m_matrix_sign_structure(self, weighted_mesh):
+        """ICT of an SDD M-matrix keeps Lemma 1's sign structure."""
+        matrix, _ = grounded_laplacian(weighted_mesh, 1.0)
+        result = ichol(matrix, drop_tol=1e-3, ordering="amd")
+        coo = result.lower.tocoo()
+        diag_mask = coo.row == coo.col
+        assert np.all(coo.data[diag_mask] > 0)
+        assert np.all(coo.data[~diag_mask] <= 1e-12)
+
+    def test_max_fill_cap(self, weighted_mesh):
+        matrix, _ = grounded_laplacian(weighted_mesh, 1.0)
+        result = ichol(matrix, drop_tol=0.0, max_fill=3, ordering="natural")
+        per_column = np.diff(result.lower.indptr)
+        assert per_column.max() <= 4  # diagonal + max_fill
+
+    def test_invalid_droptol(self, spd_matrix):
+        with pytest.raises(ValueError):
+            ichol(spd_matrix, drop_tol=-1.0)
+
+
+class TestBreakdownRecovery:
+    def test_shift_retry_succeeds(self):
+        """Aggressive dropping on an ill-conditioned SPD matrix can break
+        down; the Manteuffel retry must still deliver a usable factor."""
+        rng = np.random.default_rng(0)
+        n = 40
+        # nearly singular SPD matrix with strong off-diagonal coupling
+        base = rng.normal(size=(n, n))
+        spd = base @ base.T + 1e-4 * np.eye(n)
+        matrix = sp.csc_matrix(spd)
+        result = ichol(matrix, drop_tol=0.5, ordering="natural")
+        assert result.lower.shape == (n, n)
+        assert np.all(result.lower.diagonal() > 0)
+
+    def test_missing_diagonal_raises(self):
+        matrix = sp.csc_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(CholeskyBreakdownError):
+            ichol(matrix, max_retries=0)
+
+
+class TestPreconditioning:
+    def test_ict_accelerates_pcg(self):
+        graph = fe_mesh_2d(12, 12, seed=3)
+        matrix, _ = grounded_laplacian(graph, 1.0)
+        rng = np.random.default_rng(5)
+        b = rng.normal(size=matrix.shape[0])
+        plain = pcg(matrix, b, rtol=1e-8)
+        factor = ichol(matrix, drop_tol=1e-2, ordering="rcm")
+        preconditioned = pcg(
+            matrix, b, preconditioner=ichol_preconditioner(factor), rtol=1e-8
+        )
+        assert preconditioned.converged
+        assert preconditioned.iterations < plain.iterations
+
+    def test_ic0_preconditioner(self):
+        graph = grid_2d(9, 9)
+        matrix, _ = grounded_laplacian(graph, 1.0)
+        result = ic0(matrix, ordering="natural")
+        # pattern is exactly the lower triangle of A
+        assert result.nnz == sp.tril(matrix).nnz
+        rng = np.random.default_rng(6)
+        b = rng.normal(size=matrix.shape[0])
+        solved = pcg(matrix, b, preconditioner=ichol_preconditioner(result), rtol=1e-8)
+        assert solved.converged
+
+
+class TestDiagnostics:
+    def test_fill_ratio(self, weighted_mesh):
+        matrix, _ = grounded_laplacian(weighted_mesh, 1.0)
+        result = ichol(matrix, drop_tol=1e-3, ordering="rcm")
+        ratio = result.fill_ratio(matrix)
+        assert ratio >= 1.0  # ICT keeps at least the original pattern scale
+
+    def test_result_metadata(self, spd_matrix):
+        result = ichol(spd_matrix, drop_tol=1e-3, ordering="natural")
+        assert result.drop_tol == 1e-3
+        assert result.n == spd_matrix.shape[0]
+        assert result.shift == 0.0

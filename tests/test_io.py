@@ -1,0 +1,78 @@
+"""Tests for edge-list and MatrixMarket IO round trips."""
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    read_edgelist,
+    read_matrix_market,
+    write_edgelist,
+    write_matrix_market,
+)
+from repro.graphs.laplacian import laplacian
+
+
+def test_edgelist_round_trip(tmp_path, weighted_mesh):
+    path = tmp_path / "mesh.txt"
+    write_edgelist(weighted_mesh, path)
+    back = read_edgelist(path)
+    assert back.num_nodes == weighted_mesh.num_nodes
+    assert back.num_edges == weighted_mesh.num_edges
+    assert np.allclose(
+        back.adjacency().toarray(), weighted_mesh.adjacency().toarray()
+    )
+
+
+def test_edgelist_unweighted(tmp_path, small_grid):
+    path = tmp_path / "grid.txt"
+    write_edgelist(small_grid, path, write_weights=False)
+    back = read_edgelist(path)
+    assert np.all(back.weights == 1.0)
+    assert back.num_edges == small_grid.num_edges
+
+
+def test_edgelist_skips_comments_and_self_loops(tmp_path):
+    path = tmp_path / "raw.txt"
+    path.write_text("# a comment\n0 1\n1 1\n1 2 3.5\n\n")
+    g = read_edgelist(path)
+    assert g.num_edges == 2  # the self loop is dropped
+    assert np.allclose(np.sort(g.weights), [1.0, 3.5])
+
+
+def test_edgelist_compacts_sparse_ids(tmp_path):
+    path = tmp_path / "sparse_ids.txt"
+    path.write_text("10 20\n20 30\n")
+    g = read_edgelist(path)
+    assert g.num_nodes == 3
+    assert g.num_edges == 2
+
+
+def test_matrix_market_round_trip(tmp_path, weighted_mesh):
+    path = tmp_path / "mesh.mtx"
+    write_matrix_market(weighted_mesh, path)
+    back = read_matrix_market(path)
+    assert np.allclose(
+        back.adjacency().toarray(), weighted_mesh.adjacency().toarray()
+    )
+
+
+def test_matrix_market_reads_laplacian(tmp_path, small_grid):
+    """UF-style SDD matrices (negative off-diagonals) load as graphs."""
+    import scipy.io
+
+    path = tmp_path / "lap.mtx"
+    scipy.io.mmwrite(str(path), laplacian(small_grid))
+    back = read_matrix_market(path)
+    assert back.num_edges == small_grid.num_edges
+    assert np.allclose(
+        back.adjacency().toarray(), small_grid.adjacency().toarray()
+    )
+
+
+def test_write_edgelist_header(tmp_path):
+    g = Graph.from_edges(3, [(0, 1), (1, 2)])
+    path = tmp_path / "g.txt"
+    write_edgelist(g, path)
+    first = path.read_text().splitlines()[0]
+    assert "nodes 3" in first
+    assert "edges 2" in first

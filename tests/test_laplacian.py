@@ -1,0 +1,104 @@
+"""Tests for incidence/Laplacian assembly and grounding (paper Section II-A)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs.generators import fe_mesh_2d, grid_2d
+from repro.graphs.graph import Graph
+from repro.graphs.laplacian import (
+    grounded_laplacian,
+    incidence_matrix,
+    is_sdd_m_matrix,
+    laplacian,
+    laplacian_from_grounded,
+    laplacian_quadratic_form,
+    weight_matrix,
+)
+
+
+class TestIncidence:
+    def test_shape_and_entries(self, tiny_path):
+        b = incidence_matrix(tiny_path)
+        assert b.shape == (4, 5)
+        dense = b.toarray()
+        for e, (u, v) in enumerate(tiny_path.edge_array()):
+            assert dense[e, u] == 1.0
+            assert dense[e, v] == -1.0
+            assert np.count_nonzero(dense[e]) == 2
+
+    def test_rows_sum_to_zero(self, weighted_mesh):
+        b = incidence_matrix(weighted_mesh)
+        assert np.allclose(np.asarray(b.sum(axis=1)).ravel(), 0.0)
+
+
+class TestLaplacian:
+    def test_equals_btwb(self, weighted_mesh):
+        """Direct assembly must equal the Eq. (2) triple product."""
+        b = incidence_matrix(weighted_mesh)
+        w = weight_matrix(weighted_mesh)
+        reference = (b.T @ w @ b).toarray()
+        assert np.allclose(laplacian(weighted_mesh).toarray(), reference)
+
+    def test_row_sums_zero(self, weighted_mesh):
+        lap = laplacian(weighted_mesh)
+        assert np.allclose(np.asarray(lap.sum(axis=1)).ravel(), 0.0, atol=1e-12)
+
+    def test_positive_semidefinite(self, weighted_mesh):
+        eigenvalues = np.linalg.eigvalsh(laplacian(weighted_mesh).toarray())
+        assert eigenvalues.min() > -1e-10
+
+    def test_singular(self, small_grid):
+        lap = laplacian(small_grid).toarray()
+        assert abs(np.linalg.det(lap)) < 1e-6
+
+    def test_quadratic_form_matches_matrix(self, weighted_mesh):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=weighted_mesh.num_nodes)
+        direct = laplacian_quadratic_form(weighted_mesh, x)
+        via_matrix = float(x @ (laplacian(weighted_mesh) @ x))
+        assert np.isclose(direct, via_matrix)
+
+
+class TestGrounding:
+    def test_grounded_is_nonsingular(self, small_grid):
+        matrix, grounds = grounded_laplacian(small_grid, 1.0)
+        assert grounds.shape == (1,)
+        assert np.linalg.cond(matrix.toarray()) < 1e8
+
+    def test_one_ground_per_component(self, two_components):
+        _, grounds = grounded_laplacian(two_components, 1.0)
+        assert grounds.shape == (2,)
+        assert grounds[0] < 3 <= grounds[1]
+
+    def test_explicit_ground_nodes(self, small_grid):
+        matrix, grounds = grounded_laplacian(small_grid, 2.0, ground_nodes=np.array([5]))
+        assert np.array_equal(grounds, [5])
+        lap = laplacian(small_grid)
+        assert np.isclose(matrix[5, 5] - lap[5, 5], 2.0)
+
+    def test_round_trip(self, weighted_mesh):
+        matrix, grounds = grounded_laplacian(weighted_mesh, 3.0)
+        restored = laplacian_from_grounded(matrix, grounds, 3.0)
+        assert np.allclose(restored.toarray(), laplacian(weighted_mesh).toarray())
+
+    def test_requires_positive_ground(self, small_grid):
+        with pytest.raises(ValueError):
+            grounded_laplacian(small_grid, 0.0)
+
+    def test_grounded_is_sdd_m_matrix(self, weighted_mesh):
+        matrix, _ = grounded_laplacian(weighted_mesh, 1.0)
+        assert is_sdd_m_matrix(matrix)
+
+
+class TestSddCheck:
+    def test_rejects_positive_offdiagonal(self):
+        matrix = sp.csc_matrix(np.array([[2.0, 1.0], [1.0, 2.0]]))
+        assert not is_sdd_m_matrix(matrix)
+
+    def test_rejects_non_dominant(self):
+        matrix = sp.csc_matrix(np.array([[1.0, -2.0], [-2.0, 1.0]]))
+        assert not is_sdd_m_matrix(matrix)
+
+    def test_accepts_laplacian(self, small_grid):
+        assert is_sdd_m_matrix(laplacian(small_grid))

@@ -1,0 +1,58 @@
+"""Tests for the nested-dissection ordering."""
+
+import numpy as np
+
+from repro.cholesky.depth import max_depth
+from repro.cholesky.nested_dissection import nested_dissection_ordering
+from repro.cholesky.numeric import cholesky
+from repro.cholesky.ordering import compute_ordering
+from repro.graphs.generators import grid_2d, fe_mesh_2d
+from repro.graphs.laplacian import grounded_laplacian
+
+
+def test_is_a_permutation():
+    graph = fe_mesh_2d(9, 9, seed=0)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    perm = nested_dissection_ordering(matrix, leaf_size=16)
+    assert np.array_equal(np.sort(perm), np.arange(matrix.shape[0]))
+
+
+def test_dispatch_through_compute_ordering():
+    graph = grid_2d(8, 8)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    perm = compute_ordering(matrix, "nested_dissection")
+    assert np.array_equal(np.sort(perm), np.arange(64))
+
+
+def test_reduces_fill_versus_natural_on_grid():
+    graph = grid_2d(20, 20)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    nd = cholesky(matrix, ordering="nested_dissection").nnz
+    natural = cholesky(matrix, ordering="natural").nnz
+    assert nd < natural
+
+
+def test_depth_beats_rcm_on_grid():
+    """ND separator trees are shallow; RCM's band profile is a long chain."""
+    graph = grid_2d(24, 24)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    nd_depth = max_depth(cholesky(matrix, ordering="nested_dissection").lower)
+    rcm_depth = max_depth(cholesky(matrix, ordering="rcm").lower)
+    assert nd_depth < rcm_depth
+
+
+def test_small_matrix_falls_back_to_minimum_degree():
+    graph = grid_2d(4, 4)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    perm = nested_dissection_ordering(matrix, leaf_size=100)
+    assert np.array_equal(np.sort(perm), np.arange(16))
+
+
+def test_factorization_correct_under_nd():
+    graph = fe_mesh_2d(7, 7, seed=1)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    factor = cholesky(matrix, ordering="nested_dissection")
+    rng = np.random.default_rng(2)
+    b = rng.normal(size=matrix.shape[0])
+    x = factor.solve(b)
+    assert np.allclose(matrix @ x, b, atol=1e-8)

@@ -1,0 +1,149 @@
+"""Tests for the multilevel partitioner and node-role classification."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import barabasi_albert_graph, grid_2d, path_graph
+from repro.partition.coarsen import coarsen_once, coarsen_to, heavy_edge_matching
+from repro.partition.interface import (
+    NodeRole,
+    classify_nodes,
+    edge_cut,
+    partition_graph,
+    partition_quality,
+)
+from repro.partition.multilevel import multilevel_bisection, multilevel_kway
+from repro.partition.refine import bisection_gains, refine_bisection
+from repro.utils.rng import ensure_rng
+
+
+class TestCoarsening:
+    def test_matching_is_symmetric(self):
+        g = grid_2d(10, 10)
+        match = heavy_edge_matching(g, np.ones(100), ensure_rng(0))
+        for v, m in enumerate(match):
+            assert match[m] == v  # partner-of-partner is self
+
+    def test_coarsen_preserves_mass(self):
+        g = grid_2d(8, 8)
+        level = coarsen_once(g, np.ones(64), ensure_rng(1))
+        assert np.isclose(level.node_weights.sum(), 64.0)
+        assert level.graph.num_nodes < 64
+
+    def test_coarsen_to_target(self):
+        g = grid_2d(20, 20)
+        levels = coarsen_to(g, 50, seed=2)
+        assert levels[-1].graph.num_nodes <= max(50, int(0.9 * 400))
+        assert np.isclose(levels[-1].node_weights.sum(), 400.0)
+
+    def test_mapping_composes(self):
+        g = grid_2d(10, 10)
+        levels = coarsen_to(g, 30, seed=3)
+        mapping = np.arange(100)
+        for level in levels:
+            mapping = level.fine_to_coarse[mapping]
+        assert mapping.max() < levels[-1].graph.num_nodes
+
+
+class TestRefinement:
+    def test_gains_definition(self):
+        g = path_graph(4)
+        side = np.array([False, False, True, True])
+        gains = bisection_gains(g, side)
+        # moving node 1 or 2 just shifts the single cut edge: gain 0 at the
+        # boundary, negative inside
+        assert gains[1] == 0.0
+        assert gains[2] == 0.0
+        assert gains[0] < 0 and gains[3] < 0
+
+    def test_refinement_improves_bad_cut(self):
+        g = grid_2d(8, 8)
+        rng = ensure_rng(4)
+        side = rng.random(64) < 0.5  # random cut: terrible
+        before = edge_cut(g, side.astype(np.int64))
+        refined = refine_bisection(g, side, np.ones(64))
+        after = edge_cut(g, refined.astype(np.int64))
+        assert after < before
+
+    def test_refinement_respects_balance(self):
+        g = grid_2d(8, 8)
+        side = np.zeros(64, dtype=bool)
+        side[:32] = True
+        refined = refine_bisection(g, side, np.ones(64), balance_tolerance=0.1)
+        share = refined.sum() / 64
+        assert 0.4 - 1e-9 <= share <= 0.6 + 1e-9
+
+
+class TestKway:
+    @pytest.mark.parametrize("k", [2, 3, 5, 8])
+    def test_blocks_balanced(self, k):
+        g = grid_2d(16, 16)
+        labels = multilevel_kway(g, k, seed=5)
+        quality = partition_quality(g, labels)
+        assert quality.num_blocks == k
+        assert quality.block_sizes.min() > 0
+        assert quality.imbalance < 1.6
+
+    def test_cut_beats_random(self):
+        g = grid_2d(16, 16)
+        smart = partition_graph(g, 4, method="multilevel", seed=6)
+        random = partition_graph(g, 4, method="random", seed=6)
+        assert edge_cut(g, smart) < 0.5 * edge_cut(g, random)
+
+    def test_single_block(self):
+        g = grid_2d(4, 4)
+        labels = partition_graph(g, 1)
+        assert np.all(labels == 0)
+
+    def test_irregular_graph(self):
+        g = barabasi_albert_graph(400, 3, seed=7)
+        labels = multilevel_kway(g, 4, seed=8)
+        sizes = np.bincount(labels, minlength=4)
+        assert sizes.min() > 0
+
+    def test_bisection_target_fraction(self):
+        g = grid_2d(12, 12)
+        side = multilevel_bisection(g, target_fraction=0.25, seed=9)
+        share = side.sum() / 144
+        assert 0.1 < share < 0.45
+
+
+class TestGeometric:
+    def test_balanced_stripes(self):
+        g = grid_2d(10, 10)
+        coords = np.array([(r, c) for r in range(10) for c in range(10)], dtype=float)
+        labels = partition_graph(g, 4, method="geometric", coords=coords)
+        sizes = np.bincount(labels, minlength=4)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_requires_coords(self):
+        g = grid_2d(4, 4)
+        with pytest.raises(ValueError, match="coords"):
+            partition_graph(g, 2, method="geometric")
+
+
+class TestClassification:
+    def test_roles_partition_nodes(self):
+        g = grid_2d(8, 8)
+        labels = partition_graph(g, 4, seed=10)
+        ports = np.array([0, 10, 63])
+        roles = classify_nodes(g, labels, ports)
+        assert np.all(roles[ports] == int(NodeRole.PORT))
+        crossing = labels[g.heads] != labels[g.tails]
+        boundary = np.unique(np.concatenate([g.heads[crossing], g.tails[crossing]]))
+        non_port_boundary = np.setdiff1d(boundary, ports)
+        assert np.all(roles[non_port_boundary] == int(NodeRole.INTERFACE))
+
+    def test_interior_nodes_have_no_crossing_edges(self):
+        g = grid_2d(10, 10)
+        labels = partition_graph(g, 5, seed=11)
+        roles = classify_nodes(g, labels, np.array([0]))
+        interior = np.flatnonzero(roles == int(NodeRole.INTERIOR))
+        crossing = labels[g.heads] != labels[g.tails]
+        touched = np.unique(np.concatenate([g.heads[crossing], g.tails[crossing]]))
+        assert np.intersect1d(interior, touched).size == 0
+
+    def test_unknown_method(self):
+        g = grid_2d(4, 4)
+        with pytest.raises(ValueError, match="unknown partition"):
+            partition_graph(g, 2, method="zzz")

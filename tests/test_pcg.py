@@ -1,0 +1,52 @@
+"""Tests for the preconditioned conjugate gradient solver."""
+
+import numpy as np
+
+from repro.cholesky.incomplete import ichol
+from repro.graphs.generators import fe_mesh_2d
+from repro.graphs.laplacian import grounded_laplacian
+from repro.linalg.pcg import ichol_preconditioner, pcg
+from repro.linalg.sparse_utils import relative_residual
+
+
+def test_solves_spd_system(spd_matrix):
+    rng = np.random.default_rng(0)
+    b = rng.normal(size=spd_matrix.shape[0])
+    result = pcg(spd_matrix, b, rtol=1e-10)
+    assert result.converged
+    assert relative_residual(spd_matrix, result.x, b) < 1e-9
+
+
+def test_zero_rhs(spd_matrix):
+    result = pcg(spd_matrix, np.zeros(spd_matrix.shape[0]))
+    assert result.converged
+    assert result.iterations == 0
+    assert np.allclose(result.x, 0.0)
+
+
+def test_warm_start(spd_matrix):
+    rng = np.random.default_rng(1)
+    b = rng.normal(size=spd_matrix.shape[0])
+    cold = pcg(spd_matrix, b, rtol=1e-10)
+    warm = pcg(spd_matrix, b, x0=cold.x, rtol=1e-10)
+    assert warm.iterations <= 1
+
+
+def test_max_iterations_respected(spd_matrix):
+    rng = np.random.default_rng(2)
+    b = rng.normal(size=spd_matrix.shape[0])
+    result = pcg(spd_matrix, b, rtol=1e-14, max_iterations=2)
+    assert result.iterations <= 2
+    assert not result.converged
+
+
+def test_preconditioner_reduces_iterations():
+    graph = fe_mesh_2d(14, 14, seed=1)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    rng = np.random.default_rng(3)
+    b = rng.normal(size=matrix.shape[0])
+    plain = pcg(matrix, b, rtol=1e-9)
+    factor = ichol(matrix, drop_tol=1e-3, ordering="rcm")
+    pre = pcg(matrix, b, preconditioner=ichol_preconditioner(factor), rtol=1e-9)
+    assert pre.converged and plain.converged
+    assert pre.iterations < plain.iterations / 2

@@ -1,0 +1,84 @@
+"""Tests for the synthetic IBM-style power-grid generator."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.components import connected_components
+from repro.powergrid.generators import PGConfig, synthetic_ibmpg_like
+
+
+class TestStructure:
+    def test_node_count_two_nets(self):
+        grid = synthetic_ibmpg_like(nx=10, ny=12, seed=0)
+        assert grid.num_nodes == 2 * 10 * 12
+
+    def test_single_net(self):
+        grid = synthetic_ibmpg_like(nx=10, ny=10, nets=("vdd",), seed=0)
+        assert grid.num_nodes == 100
+        assert all(name.startswith("n_vdd") for name in grid.node_names)
+
+    def test_nets_are_disconnected_components(self):
+        grid = synthetic_ibmpg_like(nx=8, ny=8, seed=1)
+        graph = grid.to_graph()
+        labels, count = connected_components(graph)
+        assert count == 2
+        vdd_idx = grid.index_of("n_vdd_0_0")
+        gnd_idx = grid.index_of("n_gnd_0_0")
+        assert labels[vdd_idx] != labels[gnd_idx]
+
+    def test_pads_on_lattice(self):
+        config = PGConfig(nx=20, ny=20, nets=("vdd",), pad_pitch=10)
+        grid = synthetic_ibmpg_like(config, seed=0)
+        assert len(grid.vsources) == 4  # 2x2 pad lattice
+        assert all(vs.voltage == config.vdd for vs in grid.vsources)
+
+    def test_gnd_pads_at_zero(self):
+        grid = synthetic_ibmpg_like(nx=10, ny=10, seed=0)
+        gnd_pads = [vs for vs in grid.vsources if "gnd" in vs.name]
+        assert gnd_pads
+        assert all(vs.voltage == 0.0 for vs in gnd_pads)
+
+    def test_load_signs(self):
+        grid = synthetic_ibmpg_like(nx=10, ny=10, seed=0)
+        vdd_loads = [cs for cs in grid.isources if "vdd" in cs.name]
+        gnd_loads = [cs for cs in grid.isources if "gnd" in cs.name]
+        assert all(cs.dc > 0 for cs in vdd_loads)
+        assert all(cs.dc < 0 for cs in gnd_loads)
+
+
+class TestModes:
+    def test_dc_mode_has_no_caps(self):
+        grid = synthetic_ibmpg_like(nx=8, ny=8, transient=False, seed=2)
+        assert len(grid.cap_a) == 0
+        assert all(cs.waveform is None for cs in grid.isources)
+
+    def test_transient_mode(self):
+        grid = synthetic_ibmpg_like(nx=8, ny=8, transient=True, seed=2)
+        assert len(grid.cap_a) > 0
+        assert all(cs.waveform is not None for cs in grid.isources)
+
+    def test_deterministic(self):
+        a = synthetic_ibmpg_like(nx=8, ny=8, seed=7)
+        b = synthetic_ibmpg_like(nx=8, ny=8, seed=7)
+        assert np.allclose(a.res_ohms, b.res_ohms)
+        assert [cs.dc for cs in a.isources] == [cs.dc for cs in b.isources]
+
+    def test_config_override(self):
+        config = PGConfig(nx=6, ny=6)
+        grid = synthetic_ibmpg_like(config, seed=0, nx=9)
+        assert grid.num_nodes == 2 * 9 * 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PGConfig(nx=1, ny=5)
+        with pytest.raises(ValueError):
+            PGConfig(nets=("vcc",))
+        with pytest.raises(ValueError):
+            PGConfig(load_fraction=0.0)
+
+    def test_resistance_jitter_bounds(self):
+        config = PGConfig(nx=8, ny=8, wire_resistance=1.0, resistance_jitter=0.2)
+        grid = synthetic_ibmpg_like(config, seed=3)
+        ohms = np.asarray(grid.res_ohms)
+        assert ohms.min() >= 1.0 / 1.2 - 1e-9
+        assert ohms.max() <= 1.2 + 1e-9

@@ -1,0 +1,85 @@
+"""Tests for effective-resistance-based node merging."""
+
+import numpy as np
+
+from repro.core.effective_resistance import ExactEffectiveResistance
+from repro.graphs.generators import fe_mesh_2d, path_graph
+from repro.graphs.graph import Graph
+from repro.reduction.port_merge import merge_by_effective_resistance
+
+
+def test_merges_only_below_threshold():
+    g = path_graph(4)  # resistances are all 1.0
+    resistances = np.array([1.0, 0.001, 1.0])
+    result = merge_by_effective_resistance(g, resistances, threshold=0.01)
+    assert result.merged_count == 1
+    assert result.graph.num_nodes == 3
+
+
+def test_no_merge_when_threshold_zero():
+    g = path_graph(5)
+    resistances = np.ones(4)
+    result = merge_by_effective_resistance(g, resistances, threshold=0.0)
+    assert result.merged_count == 0
+    assert result.graph.num_nodes == 5
+
+
+def test_protected_nodes_never_merge_together():
+    g = Graph.from_edges(2, [(0, 1, 1e9)])  # practically a short
+    resistances = np.array([1e-9])
+    result = merge_by_effective_resistance(
+        g, resistances, threshold=1.0, protected=np.array([0, 1])
+    )
+    assert result.merged_count == 0
+
+
+def test_protected_absorbs_unprotected():
+    g = path_graph(3)
+    resistances = np.array([1e-6, 1e-6])
+    result = merge_by_effective_resistance(
+        g, resistances, threshold=1.0, protected=np.array([0])
+    )
+    # everything collapses into one cluster containing the protected node
+    assert result.graph.num_nodes == 1
+    assert result.merged_count == 2
+
+
+def test_parallel_conductances_accumulate():
+    """Merging the middle of a triangle path adds the parallel branches."""
+    g = Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 3.0)])
+    resistances = np.array([10.0, 1e-9, 10.0])
+    result = merge_by_effective_resistance(g, resistances, threshold=1e-6)
+    assert result.graph.num_nodes == 2
+    assert result.graph.num_edges == 1
+    # 0-1 (w=1) and 0-2 (w=3) become parallel after 1 and 2 merge
+    assert np.isclose(result.graph.weights[0], 4.0)
+
+
+def test_mapping_is_consistent():
+    g = fe_mesh_2d(5, 5, seed=0)
+    exact = ExactEffectiveResistance(g)
+    resistances = exact.all_edge_resistances()
+    threshold = float(np.quantile(resistances, 0.2))
+    result = merge_by_effective_resistance(g, resistances, threshold)
+    assert result.mapping.shape == (25,)
+    assert result.mapping.max() == result.graph.num_nodes - 1
+    # contiguous ids
+    assert np.array_equal(
+        np.unique(result.mapping), np.arange(result.graph.num_nodes)
+    )
+
+
+def test_merging_short_edges_barely_changes_resistance():
+    """Collapsing electrically-tiny edges perturbs far-pair ER only slightly."""
+    edges = [(0, 1, 1.0), (1, 2, 1e6), (2, 3, 1.0)]  # 1-2 is a near short
+    g = Graph.from_edges(4, edges)
+    before = ExactEffectiveResistance(g).query(0, 3)
+    resistances = ExactEffectiveResistance(g).all_edge_resistances()
+    result = merge_by_effective_resistance(g, resistances, threshold=1e-5)
+    assert result.merged_count == 1
+    merged_before = result.mapping[0]
+    merged_after = result.mapping[3]
+    after = ExactEffectiveResistance(result.graph).query(
+        int(merged_before), int(merged_after)
+    )
+    assert np.isclose(after, before, rtol=1e-4)

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) on the core data structures and
+invariants of the paper:
+
+* effective resistance is a metric (symmetry + triangle inequality);
+* Lemma 1: approximate inverse of a Laplacian Cholesky factor is >= 0;
+* Eq. 10 truncation never exceeds its 1-norm budget and is maximal;
+* Laplacians are PSD with zero row sums for arbitrary weighted graphs;
+* grounding preserves effective resistances for any positive ground value.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cholesky.incomplete import ichol
+from repro.cholesky.numeric import cholesky
+from repro.core.approx_inverse import approximate_inverse
+from repro.core.effective_resistance import (
+    CholInvEffectiveResistance,
+    ExactEffectiveResistance,
+    dense_pinv_resistance,
+)
+from repro.core.truncation import dropped_fraction, truncation_keep_mask
+from repro.graphs.graph import Graph
+from repro.graphs.laplacian import grounded_laplacian, laplacian
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+@st.composite
+def connected_graphs(draw, max_nodes=24):
+    """Random connected weighted graph: a random spanning tree plus extras."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+    # random spanning tree: attach node i to a random earlier node
+    heads = [int(rng.integers(0, i)) for i in range(1, n)]
+    tails = list(range(1, n))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            heads.append(int(min(u, v)))
+            tails.append(int(max(u, v)))
+    weights = rng.uniform(0.1, 10.0, size=len(heads))
+    return Graph(
+        n,
+        np.asarray(heads, dtype=np.int64),
+        np.asarray(tails, dtype=np.int64),
+        weights,
+    ).coalesce()
+
+
+@given(connected_graphs())
+@settings(**SETTINGS)
+def test_laplacian_psd_and_zero_rowsum(graph):
+    lap = laplacian(graph).toarray()
+    assert np.allclose(lap.sum(axis=1), 0.0, atol=1e-9)
+    eigenvalues = np.linalg.eigvalsh(lap)
+    assert eigenvalues.min() > -1e-8
+
+
+@given(connected_graphs(), st.floats(min_value=0.01, max_value=100.0))
+@settings(**SETTINGS)
+def test_grounding_value_never_changes_resistances(graph, ground_value):
+    pairs = graph.edge_array()[:10]
+    grounded = ExactEffectiveResistance(graph, ground_value=ground_value)
+    reference = dense_pinv_resistance(graph, pairs)
+    assert np.allclose(grounded.query_pairs(pairs), reference, rtol=1e-6, atol=1e-9)
+
+
+@given(connected_graphs())
+@settings(**SETTINGS)
+def test_effective_resistance_is_a_metric(graph):
+    est = ExactEffectiveResistance(graph)
+    n = graph.num_nodes
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        a, b = rng.integers(0, n, size=2)
+        assert np.isclose(est.query(int(a), int(b)), est.query(int(b), int(a)))
+    if n >= 3:
+        a, b, c = rng.choice(n, size=3, replace=False)
+        rab = est.query(int(a), int(b))
+        rbc = est.query(int(b), int(c))
+        rac = est.query(int(a), int(c))
+        assert rac <= rab + rbc + 1e-8
+
+
+@given(connected_graphs(), st.floats(min_value=0.0, max_value=0.2))
+@settings(**SETTINGS)
+def test_lemma1_nonnegativity(graph, epsilon):
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    factor = cholesky(matrix, ordering="amd")
+    z, _ = approximate_inverse(factor.lower, epsilon=epsilon)
+    assert z.nnz == 0 or z.data.min() >= -1e-12
+
+
+@given(connected_graphs(), st.floats(min_value=0.0, max_value=0.3))
+@settings(**SETTINGS)
+def test_ict_sign_structure(graph, drop_tol):
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    result = ichol(matrix, drop_tol=drop_tol, ordering="natural")
+    coo = result.lower.tocoo()
+    off = coo.row != coo.col
+    assert np.all(coo.data[off] <= 1e-12)
+    assert np.all(result.lower.diagonal() > 0)
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_truncation_budget_and_maximality(values, eps):
+    values = np.asarray(values)
+    mask = truncation_keep_mask(values, eps)
+    assert dropped_fraction(values, mask) <= eps + 1e-9
+    # maximality: adding the smallest kept entry to the dropped set must
+    # blow the budget (unless everything was already dropped)
+    total = np.abs(values).sum()
+    if mask.any() and total > 0:
+        dropped = np.abs(values[~mask]).sum()
+        smallest_kept = np.abs(values[mask]).min()
+        assert dropped + smallest_kept > eps * total - 1e-9 * total
+
+
+@given(connected_graphs(max_nodes=16))
+@settings(max_examples=15, deadline=None)
+def test_cholinv_matches_exact_at_zero_tolerances(graph):
+    est = CholInvEffectiveResistance(graph, epsilon=0.0, drop_tol=0.0)
+    pairs = graph.edge_array()[:8]
+    reference = dense_pinv_resistance(graph, pairs)
+    assert np.allclose(est.query_pairs(pairs), reference, rtol=1e-6, atol=1e-9)
+
+
+@given(connected_graphs(max_nodes=20))
+@settings(max_examples=15, deadline=None)
+def test_rayleigh_monotonicity_under_weight_increase(graph):
+    """Increasing one edge weight can only decrease effective resistances."""
+    rng = np.random.default_rng(1)
+    edge = int(rng.integers(0, graph.num_edges))
+    boosted_weights = graph.weights.copy()
+    boosted_weights[edge] *= 10.0
+    boosted = graph.with_weights(boosted_weights)
+    pairs = graph.edge_array()[:6]
+    before = ExactEffectiveResistance(graph).query_pairs(pairs)
+    after = ExactEffectiveResistance(boosted).query_pairs(pairs)
+    assert np.all(after <= before + 1e-9)

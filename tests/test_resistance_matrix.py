@@ -1,0 +1,83 @@
+"""Tests for pairwise resistance matrices and nearest-neighbour queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.effective_resistance import CholInvEffectiveResistance
+from repro.core.resistance_matrix import (
+    electrically_nearest_neighbours,
+    exact_pairwise_resistance_matrix,
+    pairwise_resistance_matrix,
+)
+from repro.graphs.generators import fe_mesh_2d, path_graph
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture(scope="module")
+def mesh_estimator():
+    graph = fe_mesh_2d(8, 8, seed=0)
+    return graph, CholInvEffectiveResistance(graph, epsilon=1e-4, drop_tol=0.0)
+
+
+class TestPairwiseMatrix:
+    def test_matches_exact(self, mesh_estimator):
+        graph, est = mesh_estimator
+        nodes = np.array([0, 7, 20, 35, 63])
+        approx = pairwise_resistance_matrix(est, nodes)
+        exact = exact_pairwise_resistance_matrix(graph, nodes)
+        assert np.allclose(approx, exact, rtol=1e-2, atol=1e-6)
+
+    def test_metric_properties(self, mesh_estimator):
+        _, est = mesh_estimator
+        nodes = np.arange(0, 64, 7)
+        matrix = pairwise_resistance_matrix(est, nodes)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+        k = nodes.size
+        for i in range(k):
+            for j in range(k):
+                for l in range(k):
+                    assert matrix[i, l] <= matrix[i, j] + matrix[j, l] + 1e-6
+
+    def test_path_distances(self):
+        graph = path_graph(6)
+        est = CholInvEffectiveResistance(graph, epsilon=0.0, drop_tol=0.0)
+        matrix = pairwise_resistance_matrix(est, np.arange(6))
+        expected = np.abs(np.subtract.outer(np.arange(6), np.arange(6))).astype(float)
+        assert np.allclose(matrix, expected, atol=1e-8)
+
+    def test_cross_component_inf(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        est = CholInvEffectiveResistance(g, epsilon=0.0, drop_tol=0.0)
+        matrix = pairwise_resistance_matrix(est, np.array([0, 1, 2]))
+        assert matrix[0, 2] == np.inf
+        assert np.isfinite(matrix[0, 1])
+
+    def test_single_node(self, mesh_estimator):
+        _, est = mesh_estimator
+        matrix = pairwise_resistance_matrix(est, np.array([5]))
+        assert matrix.shape == (1, 1)
+        assert matrix[0, 0] == 0.0
+
+
+class TestNearestNeighbours:
+    def test_path_neighbours_in_order(self):
+        graph = path_graph(9)
+        est = CholInvEffectiveResistance(graph, epsilon=0.0, drop_tol=0.0)
+        ids, distances = electrically_nearest_neighbours(
+            est, 4, candidates=[0, 1, 2, 3, 5, 6, 7, 8], k=3
+        )
+        assert set(ids.tolist()) == {3, 5, 2} or set(ids.tolist()) == {3, 5, 6}
+        assert np.all(np.diff(distances) >= -1e-12)
+
+    def test_k_capped_at_candidates(self, mesh_estimator):
+        _, est = mesh_estimator
+        ids, distances = electrically_nearest_neighbours(
+            est, 0, candidates=[1, 2], k=10
+        )
+        assert ids.shape == (2,)
+
+    def test_requires_candidates(self, mesh_estimator):
+        _, est = mesh_estimator
+        with pytest.raises(ValueError):
+            electrically_nearest_neighbours(est, 0, candidates=[])

@@ -1,0 +1,120 @@
+"""Tests for Schur-complement reduction exactness."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs.generators import fe_mesh_2d, grid_2d, path_graph
+from repro.graphs.laplacian import laplacian
+from repro.reduction.schur import laplacian_to_edges, schur_reduce
+
+
+class TestExactness:
+    def test_path_reduces_to_series_resistor(self):
+        """Eliminating the middle of a unit path leaves conductance 1/(n-1)."""
+        g = path_graph(5)
+        lap = laplacian(g)
+        red = schur_reduce(lap, keep=np.array([0, 4]))
+        expected = 0.25 * np.array([[1.0, -1.0], [-1.0, 1.0]])
+        assert np.allclose(red.reduced, expected)
+
+    def test_port_voltages_preserved(self):
+        """Solves on the reduced system match the full solve exactly."""
+        g = fe_mesh_2d(7, 7, seed=0)
+        lap = laplacian(g).tolil()
+        lap[0, 0] += 1.0  # ground node 0 so the system is nonsingular
+        lap = lap.tocsc()
+        keep = np.array([0, 5, 11, 23, 37, 48])
+        red = schur_reduce(lap, keep)
+        rng = np.random.default_rng(1)
+        rhs = rng.normal(size=g.num_nodes)
+        rhs -= rhs.mean()
+        full = np.linalg.solve(lap.toarray(), rhs)
+        reduced_solution = np.linalg.solve(red.reduced, red.reduce_rhs(rhs))
+        assert np.allclose(reduced_solution, full[keep], atol=1e-9)
+
+    def test_interior_recovery(self):
+        g = grid_2d(5, 5)
+        lap = laplacian(g).tolil()
+        lap[0, 0] += 2.0
+        lap = lap.tocsc()
+        keep = np.array([0, 4, 20, 24])
+        red = schur_reduce(lap, keep, keep_interior_solver=True)
+        rng = np.random.default_rng(2)
+        rhs = rng.normal(size=25)
+        full = np.linalg.solve(lap.toarray(), rhs)
+        v_keep = np.linalg.solve(red.reduced, red.reduce_rhs(rhs))
+        v_interior = red.recover_interior(v_keep, rhs[red.eliminated])
+        assert np.allclose(v_interior, full[red.eliminated], atol=1e-9)
+
+    def test_keep_everything_is_identity(self):
+        g = grid_2d(3, 3)
+        lap = laplacian(g)
+        red = schur_reduce(lap, keep=np.arange(9))
+        assert np.allclose(red.reduced, lap.toarray())
+        assert red.eliminated.size == 0
+
+
+class TestDivider:
+    def test_current_divider_properties(self):
+        """W = −X is nonnegative with column... row sums ≤ 1 on Laplacians."""
+        g = fe_mesh_2d(6, 6, seed=3)
+        lap = laplacian(g)
+        keep = np.arange(0, 36, 5)
+        red = schur_reduce(lap, keep)
+        assert red.divider.min() >= -1e-10
+        row_sums = red.divider.sum(axis=1)
+        assert np.all(row_sums <= 1.0 + 1e-9)
+
+    def test_lump_preserves_total_without_shunts(self):
+        """With no ground shunts all interior mass reaches kept nodes."""
+        g = grid_2d(6, 6)
+        lap = laplacian(g)
+        keep = np.array([0, 35])
+        red = schur_reduce(lap, keep)
+        values = np.abs(np.random.default_rng(4).normal(size=36))
+        lumped = red.lump_values(values)
+        assert np.isclose(lumped.sum(), values.sum(), rtol=1e-9)
+
+
+class TestFloatingAndEdges:
+    def test_floating_interior_dropped(self):
+        """A disconnected interior island is dropped, not inverted."""
+        lap_block = laplacian(path_graph(3)).toarray()  # nodes 0,1,2
+        full = np.zeros((5, 5))
+        full[:3, :3] = lap_block
+        full[0, 0] += 1.0
+        # nodes 3, 4 form a floating pair
+        full[3, 3] = full[4, 4] = 1.0
+        full[3, 4] = full[4, 3] = -1.0
+        red = schur_reduce(sp.csc_matrix(full), keep=np.array([0, 2]))
+        assert np.array_equal(np.sort(red.dropped), [3, 4])
+        assert red.reduced.shape == (2, 2)
+
+    def test_requires_nonempty_keep(self):
+        g = grid_2d(3, 3)
+        with pytest.raises(ValueError):
+            schur_reduce(laplacian(g), keep=np.array([], dtype=np.int64))
+
+
+class TestLaplacianToEdges:
+    def test_round_trip(self):
+        g = fe_mesh_2d(5, 5, seed=5)
+        lap = laplacian(g)
+        red = schur_reduce(lap, keep=np.arange(0, 25, 3))
+        heads, tails, conductances, shunts = laplacian_to_edges(red.reduced)
+        rebuilt = np.zeros_like(red.reduced)
+        for a, b, w in zip(heads, tails, conductances):
+            rebuilt[a, b] -= w
+            rebuilt[b, a] -= w
+            rebuilt[a, a] += w
+            rebuilt[b, b] += w
+        rebuilt += np.diag(shunts)
+        assert np.allclose(rebuilt, red.reduced, atol=1e-8)
+
+    def test_shunt_detection(self):
+        """Grounded diagonal excess must surface as shunts."""
+        dense = np.array([[2.0, -1.0], [-1.0, 1.5]])
+        heads, tails, conductances, shunts = laplacian_to_edges(dense)
+        assert conductances.tolist() == [1.0]
+        assert np.allclose(shunts, [1.0, 0.5])

@@ -1,0 +1,90 @@
+"""Tests for the Wilson-sampler spanning-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.spanning_tree import (
+    SpanningTreeEffectiveResistance,
+    sample_spanning_tree,
+)
+from repro.core.effective_resistance import ExactEffectiveResistance
+from repro.graphs.components import is_connected
+from repro.graphs.generators import complete_graph, cycle_graph, fe_mesh_2d, path_graph
+from repro.graphs.graph import Graph
+from repro.utils.rng import ensure_rng
+
+
+class TestWilsonSampler:
+    def test_tree_has_n_minus_one_edges(self):
+        g = fe_mesh_2d(6, 6, seed=0)
+        rng = ensure_rng(1)
+        for _ in range(5):
+            tree = sample_spanning_tree(g, rng)
+            assert tree.shape[0] == g.num_nodes - 1
+
+    def test_tree_spans_and_is_acyclic(self):
+        g = fe_mesh_2d(5, 7, seed=2)
+        rng = ensure_rng(3)
+        tree = sample_spanning_tree(g, rng)
+        sub = Graph(
+            g.num_nodes, g.heads[tree], g.tails[tree], g.weights[tree]
+        )
+        assert is_connected(sub)
+        assert sub.num_edges == sub.num_nodes - 1  # acyclic by edge count
+
+    def test_path_graph_tree_is_the_path(self):
+        g = path_graph(6)
+        rng = ensure_rng(4)
+        tree = sample_spanning_tree(g, rng)
+        assert np.array_equal(np.sort(tree), np.arange(5))
+
+    def test_weighted_bias(self):
+        """On a triangle with one heavy edge, the heavy edge appears in
+        almost every sampled tree (Pr = w·R ≈ 1)."""
+        g = Graph.from_edges(3, [(0, 1, 100.0), (1, 2, 1.0), (0, 2, 1.0)])
+        rng = ensure_rng(5)
+        heavy_count = sum(
+            0 in sample_spanning_tree(g, rng) for _ in range(100)
+        )
+        assert heavy_count > 90
+
+
+class TestEstimator:
+    def test_unbiased_on_cycle(self):
+        """Cycle: every edge has Pr[e ∈ T] = (n−1)/n exactly."""
+        n = 8
+        g = cycle_graph(n)
+        est = SpanningTreeEffectiveResistance(g, num_trees=600, seed=6)
+        expected = (n - 1) / n
+        assert np.allclose(est.edge_frequency, expected, atol=0.06)
+
+    def test_matches_exact_on_mesh(self):
+        g = fe_mesh_2d(5, 5, seed=7)
+        est = SpanningTreeEffectiveResistance(g, num_trees=800, seed=8)
+        exact = ExactEffectiveResistance(g.coalesce())
+        truth = exact.all_edge_resistances()
+        approx = est.all_edge_resistances()
+        # Monte-Carlo estimate: generous absolute tolerance
+        assert np.abs(approx - truth).mean() < 0.05
+
+    def test_centrality_sums_to_n_minus_one(self):
+        g = complete_graph(7)
+        est = SpanningTreeEffectiveResistance(g, num_trees=300, seed=9)
+        assert np.isclose(
+            est.spanning_edge_centrality().sum(), 6.0, atol=1e-9
+        )  # every tree contributes exactly n−1 indicators
+
+    def test_edge_query(self):
+        g = path_graph(4)
+        est = SpanningTreeEffectiveResistance(g, num_trees=10, seed=10)
+        assert est.query(1, 2) == 1.0  # tree edges always present
+
+    def test_non_edge_query_rejected(self):
+        g = path_graph(4)
+        est = SpanningTreeEffectiveResistance(g, num_trees=5, seed=11)
+        with pytest.raises(ValueError, match="edge queries"):
+            est.query(0, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpanningTreeEffectiveResistance(path_graph(3), num_trees=0)

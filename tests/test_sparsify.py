@@ -1,0 +1,78 @@
+"""Tests for Spielman–Srivastava effective-resistance sparsification."""
+
+import numpy as np
+
+from repro.core.effective_resistance import ExactEffectiveResistance
+from repro.graphs.components import is_connected
+from repro.graphs.generators import complete_graph, fe_mesh_2d
+from repro.graphs.laplacian import laplacian
+from repro.reduction.sparsify import spielman_srivastava_sparsify
+
+
+def exact_resistances(graph):
+    return ExactEffectiveResistance(graph).all_edge_resistances()
+
+
+class TestBasics:
+    def test_small_graph_returned_unchanged(self):
+        g = fe_mesh_2d(4, 4, seed=0)
+        r = exact_resistances(g)
+        result = spielman_srivastava_sparsify(g, r, num_samples=10**6, seed=1)
+        assert result.graph is g
+        assert result.num_samples == 0
+
+    def test_reduces_dense_graph(self):
+        g = complete_graph(40)
+        r = exact_resistances(g)
+        result = spielman_srivastava_sparsify(g, r, sample_factor=2.0, seed=2)
+        assert result.graph.num_edges < g.num_edges
+
+    def test_stays_connected(self):
+        g = complete_graph(30)
+        r = exact_resistances(g)
+        for seed in range(5):
+            result = spielman_srivastava_sparsify(
+                g, r, num_samples=40, keep_spanning_tree=True, seed=seed
+            )
+            assert is_connected(result.graph)
+
+    def test_deterministic_given_seed(self):
+        g = complete_graph(25)
+        r = exact_resistances(g)
+        a = spielman_srivastava_sparsify(g, r, sample_factor=2.0, seed=7)
+        b = spielman_srivastava_sparsify(g, r, sample_factor=2.0, seed=7)
+        assert a.graph.num_edges == b.graph.num_edges
+        assert np.allclose(a.graph.weights, b.graph.weights)
+
+
+class TestSpectralQuality:
+    def test_quadratic_form_preserved(self):
+        """xᵀL̃x ≈ xᵀLx for random test vectors (the sparsifier guarantee)."""
+        g = complete_graph(60)
+        r = exact_resistances(g)
+        result = spielman_srivastava_sparsify(g, r, sample_factor=12.0, seed=3)
+        lap = laplacian(g).toarray()
+        lap_sparse = laplacian(result.graph).toarray()
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            x = rng.normal(size=60)
+            x -= x.mean()
+            original = x @ lap @ x
+            sparsified = x @ lap_sparse @ x
+            assert abs(sparsified / original - 1.0) < 0.35
+
+    def test_total_weight_roughly_preserved(self):
+        g = complete_graph(50)
+        r = exact_resistances(g)
+        result = spielman_srivastava_sparsify(g, r, sample_factor=10.0, seed=5)
+        assert np.isclose(
+            result.graph.total_weight(), g.total_weight(), rtol=0.3
+        )
+
+    def test_effective_resistances_approximately_preserved(self):
+        g = complete_graph(40)
+        r = exact_resistances(g)
+        result = spielman_srivastava_sparsify(g, r, sample_factor=14.0, seed=6)
+        before = ExactEffectiveResistance(g).query(0, 1)
+        after = ExactEffectiveResistance(result.graph).query(0, 1)
+        assert abs(after / before - 1.0) < 0.4

@@ -1,0 +1,61 @@
+"""Tests for the symbolic factorisation pattern."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cholesky.symbolic import symbolic_factorization
+from repro.graphs.generators import fe_mesh_2d
+from repro.graphs.laplacian import grounded_laplacian
+from tests.conftest import random_spd
+from tests.test_etree import boolean_fill
+
+
+def pattern_to_dense(sym, n):
+    dense = np.zeros((n, n), dtype=bool)
+    for j in range(n):
+        rows = sym.indices[sym.indptr[j] : sym.indptr[j + 1]]
+        dense[rows, j] = True
+    return dense
+
+
+def test_pattern_matches_brute_force_spd():
+    matrix = random_spd(40, 0.1, seed=5)
+    sym = symbolic_factorization(matrix)
+    assert np.array_equal(pattern_to_dense(sym, 40), boolean_fill(matrix))
+
+
+def test_pattern_matches_brute_force_mesh():
+    graph = fe_mesh_2d(6, 5, seed=4)
+    matrix, _ = grounded_laplacian(graph, 1.0)
+    n = matrix.shape[0]
+    sym = symbolic_factorization(matrix)
+    assert np.array_equal(pattern_to_dense(sym, n), boolean_fill(matrix))
+
+
+def test_diagonal_stored_first():
+    matrix = random_spd(25, 0.15, seed=1)
+    sym = symbolic_factorization(matrix)
+    firsts = sym.indices[sym.indptr[:-1]]
+    assert np.array_equal(firsts, np.arange(25))
+
+
+def test_rows_sorted_within_columns():
+    matrix = random_spd(30, 0.1, seed=2)
+    sym = symbolic_factorization(matrix)
+    for j in range(30):
+        rows = sym.indices[sym.indptr[j] : sym.indptr[j + 1]]
+        assert np.all(np.diff(rows) > 0)
+
+
+def test_nnz_property():
+    matrix = random_spd(20, 0.2, seed=7)
+    sym = symbolic_factorization(matrix)
+    assert sym.nnz == sym.indices.shape[0] == sym.indptr[-1]
+
+
+def test_tridiagonal_no_fill():
+    diag = np.full(6, 2.0)
+    off = np.full(5, -1.0)
+    matrix = sp.diags([off, diag, off], [-1, 0, 1]).tocsc()
+    sym = symbolic_factorization(matrix)
+    assert sym.nnz == 6 + 5  # bidiagonal lower factor: no fill-in

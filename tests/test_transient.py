@@ -1,0 +1,93 @@
+"""Tests for Backward-Euler transient analysis against RC theory."""
+
+import numpy as np
+import pytest
+
+from repro.powergrid.generators import synthetic_ibmpg_like
+from repro.powergrid.netlist import GROUND, PowerGrid
+from repro.powergrid.transient import transient_analysis
+from repro.powergrid.waveforms import PWLWaveform
+
+
+def rc_circuit(r=1.0, c=1e-9):
+    """pad —R— node —C— ground, with a step current load at the node."""
+    pg = PowerGrid()
+    pad, node = pg.node("pad"), pg.node("n")
+    pg.add_resistor(pad, node, r)
+    pg.add_capacitor(node, c)
+    pg.add_vsource(pad, 1.0)
+    return pg, node
+
+
+class TestRCStep:
+    def test_exponential_settling(self):
+        """Step load on an RC node settles as 1 − e^{−t/RC} towards IR drop."""
+        r, c, i_load = 1.0, 1e-9, 0.2
+        pg, node = rc_circuit(r, c)
+        pg.add_isource(
+            node,
+            0.0,
+            waveform=PWLWaveform(times=[0.0, 1e-15], values=[0.0, i_load]),
+        )
+        tau = r * c
+        h = tau / 100
+        result = transient_analysis(pg, step=h, num_steps=500, observe=np.array([node]))
+        wave = result.voltages[0]
+        expected = 1.0 - i_load * r * (1.0 - np.exp(-result.times / tau))
+        # Backward Euler at h = tau/100: first-order accurate
+        assert np.max(np.abs(wave - expected)) < 2e-3
+
+    def test_starts_from_dc_operating_point(self):
+        pg, node = rc_circuit()
+        pg.add_isource(node, 0.1)  # constant load, no waveform
+        result = transient_analysis(pg, step=1e-10, num_steps=20, observe=np.array([node]))
+        # constant source: the waveform must stay at the DC solution
+        assert np.allclose(result.voltages[0], 0.9, atol=1e-9)
+
+    def test_smaller_step_more_accurate(self):
+        r, c, i_load = 1.0, 1e-9, 0.2
+        errors = []
+        for steps_per_tau in (10, 100):
+            pg, node = rc_circuit(r, c)
+            pg.add_isource(
+                node, 0.0, waveform=PWLWaveform(times=[0.0, 1e-15], values=[0.0, i_load])
+            )
+            tau = r * c
+            h = tau / steps_per_tau
+            num = 3 * steps_per_tau
+            result = transient_analysis(pg, step=h, num_steps=num, observe=np.array([node]))
+            expected = 1.0 - i_load * r * (1.0 - np.exp(-result.times / tau))
+            errors.append(np.max(np.abs(result.voltages[0] - expected)))
+        assert errors[1] < errors[0]
+
+
+class TestInterface:
+    def test_observe_subset(self):
+        grid = synthetic_ibmpg_like(nx=6, ny=6, transient=True, seed=0)
+        ports = grid.port_nodes()
+        result = transient_analysis(grid, step=1e-11, num_steps=5, observe=ports)
+        assert result.voltages.shape == (ports.size, 5)
+        assert np.array_equal(result.observed, ports)
+
+    def test_waveform_of(self):
+        grid = synthetic_ibmpg_like(nx=6, ny=6, transient=True, seed=0)
+        ports = grid.port_nodes()
+        result = transient_analysis(grid, step=1e-11, num_steps=5, observe=ports)
+        wave = result.waveform_of(int(ports[2]))
+        assert np.array_equal(wave, result.voltages[2])
+        with pytest.raises(ValueError):
+            result.waveform_of(int(ports.max()) + 10**6)
+
+    def test_validation(self):
+        grid = synthetic_ibmpg_like(nx=4, ny=4, seed=0)
+        with pytest.raises(ValueError):
+            transient_analysis(grid, step=0.0)
+        with pytest.raises(ValueError):
+            transient_analysis(grid, step=1e-12, num_steps=0)
+
+    def test_voltages_bounded_by_supply(self):
+        """A passive RC grid cannot exceed the rails (much)."""
+        grid = synthetic_ibmpg_like(nx=10, ny=10, transient=True, seed=3)
+        result = transient_analysis(grid, step=1e-11, num_steps=50)
+        assert result.voltages.max() <= 1.8 + 1e-6
+        assert result.voltages.min() >= -0.5

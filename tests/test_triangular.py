@@ -1,0 +1,51 @@
+"""Tests for sparse triangular solves."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cholesky.numeric import cholesky
+from repro.cholesky.triangular import (
+    solve_lower,
+    solve_lower_transpose,
+    spd_solve,
+    unit_vector,
+)
+
+
+def test_solve_lower(spd_matrix):
+    factor = cholesky(spd_matrix, ordering="natural")
+    rng = np.random.default_rng(0)
+    b = rng.normal(size=spd_matrix.shape[0])
+    y = solve_lower(factor.lower, b)
+    assert np.allclose(factor.lower @ y, b, atol=1e-9)
+
+
+def test_solve_lower_transpose(spd_matrix):
+    factor = cholesky(spd_matrix, ordering="natural")
+    rng = np.random.default_rng(1)
+    b = rng.normal(size=spd_matrix.shape[0])
+    z = solve_lower_transpose(factor.lower, b)
+    assert np.allclose(factor.lower.T @ z, b, atol=1e-9)
+
+
+def test_spd_solve(spd_matrix):
+    factor = cholesky(spd_matrix, ordering="natural")
+    rng = np.random.default_rng(2)
+    b = rng.normal(size=spd_matrix.shape[0])
+    x = spd_solve(factor.lower, b)
+    assert np.allclose(spd_matrix @ x, b, atol=1e-8)
+
+
+def test_solve_2d_rhs(spd_matrix):
+    factor = cholesky(spd_matrix, ordering="natural")
+    rng = np.random.default_rng(3)
+    b = rng.normal(size=(spd_matrix.shape[0], 3))
+    y = solve_lower(factor.lower, b)
+    assert np.allclose(factor.lower @ y, b, atol=1e-9)
+
+
+def test_unit_vector():
+    e = unit_vector(5, 2)
+    assert e.shape == (5,)
+    assert e[2] == 1.0
+    assert e.sum() == 1.0

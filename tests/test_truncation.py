@@ -1,0 +1,71 @@
+"""Tests for the Eq. (10) relative 1-norm truncation rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.truncation import (
+    dropped_fraction,
+    truncate_relative_1norm,
+    truncation_keep_mask,
+)
+
+
+class TestKeepMask:
+    def test_eps_zero_keeps_everything_nonzero(self):
+        values = np.array([0.5, -0.1, 0.0, 2.0])
+        mask = truncation_keep_mask(values, 0.0)
+        assert np.array_equal(mask, [True, True, False, True])
+
+    def test_eps_one_drops_everything(self):
+        values = np.array([1.0, 2.0, 3.0])
+        mask = truncation_keep_mask(values, 1.0)
+        assert not mask.any()
+
+    def test_dropped_mass_within_budget(self):
+        rng = np.random.default_rng(0)
+        for eps in (1e-3, 1e-2, 0.1, 0.5):
+            values = rng.exponential(size=200)
+            mask = truncation_keep_mask(values, eps)
+            assert dropped_fraction(values, mask) <= eps + 1e-12
+
+    def test_maximality(self):
+        """k is the LARGEST admissible count: dropping the next smallest
+        kept entry must exceed the budget."""
+        rng = np.random.default_rng(1)
+        values = rng.exponential(size=100)
+        eps = 0.05
+        mask = truncation_keep_mask(values, eps)
+        if mask.any():
+            total = np.abs(values).sum()
+            dropped = np.abs(values[~mask]).sum()
+            smallest_kept = np.abs(values[mask]).min()
+            assert dropped + smallest_kept > eps * total
+
+    def test_negative_eps_raises(self):
+        with pytest.raises(ValueError):
+            truncation_keep_mask(np.array([1.0]), -0.1)
+
+    def test_all_zero_column(self):
+        mask = truncation_keep_mask(np.zeros(4), 0.1)
+        assert not mask.any()
+
+    def test_uses_absolute_values(self):
+        values = np.array([-10.0, 0.001, -0.001])
+        mask = truncation_keep_mask(values, 0.01)
+        assert mask[0]
+        assert not mask[1] and not mask[2]
+
+
+class TestTruncateColumn:
+    def test_returns_consistent_pair(self):
+        indices = np.array([3, 7, 9, 12])
+        values = np.array([5.0, 0.01, 4.0, 0.02])
+        idx, vals = truncate_relative_1norm(indices, values, 0.02)
+        assert np.array_equal(idx, [3, 9])
+        assert np.allclose(vals, [5.0, 4.0])
+
+    def test_preserves_order(self):
+        indices = np.arange(10)
+        values = np.linspace(1, 10, 10)
+        idx, vals = truncate_relative_1norm(indices, values, 0.05)
+        assert np.all(np.diff(idx) > 0)

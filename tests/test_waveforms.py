@@ -1,0 +1,67 @@
+"""Tests for source waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.powergrid.waveforms import ConstantWaveform, PulseWaveform, PWLWaveform
+
+
+class TestPWL:
+    def test_interpolation(self):
+        wf = PWLWaveform(times=[0.0, 1.0, 2.0], values=[0.0, 2.0, 0.0])
+        assert wf.value(0.5) == 1.0
+        assert wf.value(1.5) == 1.0
+        assert wf.value(1.0) == 2.0
+
+    def test_clamping_outside_range(self):
+        wf = PWLWaveform(times=[1.0, 2.0], values=[3.0, 5.0])
+        assert wf.value(0.0) == 3.0
+        assert wf.value(10.0) == 5.0
+
+    def test_vectorized(self):
+        wf = PWLWaveform(times=[0.0, 1.0], values=[0.0, 1.0])
+        out = wf.value(np.array([0.0, 0.25, 0.5, 1.0]))
+        assert np.allclose(out, [0.0, 0.25, 0.5, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PWLWaveform(times=[1.0, 0.5], values=[0.0, 1.0])
+        with pytest.raises(ValueError):
+            PWLWaveform(times=[0.0, 1.0], values=[0.0])
+
+
+class TestPulse:
+    def make(self):
+        return PulseWaveform(
+            low=0.0, high=1.0, delay=1.0, rise=0.1, width=0.5, fall=0.1, period=2.0
+        )
+
+    def test_before_delay_is_low(self):
+        assert self.make().value(0.5) == 0.0
+
+    def test_plateau(self):
+        wf = self.make()
+        assert wf.value(1.0 + 0.1 + 0.25) == 1.0
+
+    def test_rise_midpoint(self):
+        wf = self.make()
+        assert np.isclose(wf.value(1.05), 0.5)
+
+    def test_fall_midpoint(self):
+        wf = self.make()
+        assert np.isclose(wf.value(1.0 + 0.1 + 0.5 + 0.05), 0.5)
+
+    def test_periodicity(self):
+        wf = self.make()
+        t = np.linspace(1.0, 3.0, 7)
+        assert np.allclose(wf.value(t), wf.value(t + 2.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PulseWaveform(low=0, high=1, rise=0.5, width=1.0, fall=0.5, period=1.0)
+
+
+def test_constant_waveform():
+    wf = ConstantWaveform(3.0)
+    assert np.allclose(wf.value(np.array([0.0, 1e9])), 3.0)
+    assert wf(5.0) == 3.0
