@@ -20,6 +20,8 @@ Layers
 * :mod:`repro.reduction` — Alg. 1 graph-sparsification-based PG reduction;
 * :mod:`repro.apps` — transient / DC-incremental application flows
   (Table II);
+* :mod:`repro.service` — cached, refreshable query serving layer
+  (:class:`~repro.service.ResistanceService`);
 * :mod:`repro.bench` — harness regenerating every table and figure.
 """
 
@@ -51,6 +53,7 @@ from repro.graphs.generators import (
 )
 from repro.graphs.graph import Graph
 from repro.graphs.laplacian import grounded_laplacian, incidence_matrix, laplacian
+from repro.service import ResistanceService
 
 __version__ = "1.0.0"
 
@@ -71,6 +74,7 @@ __all__ = [
     "NaivePerQueryResistance",
     "effective_resistances",
     "spanning_edge_centrality",
+    "ResistanceService",
     "estimate_query_errors",
     "theorem1_bound",
     "path_graph",

@@ -1,9 +1,18 @@
-"""DC incremental-analysis application flow (Table II lower half).
+"""Incremental-analysis application flows.
 
-The design scenario of Section IV-B: a power-grid designer fixes IR-drop
-violations by editing a small region of the grid — here, 10% of the blocks
-get their wire resistances and load currents perturbed.  Because Alg. 1 is
-block-local, only the modified blocks need re-reduction:
+Two scenarios live here:
+
+* the Table II (lower half) power-grid protocol of Section IV-B — a
+  designer fixes IR-drop violations by editing a small region of the grid;
+  because Alg. 1 is block-local, only the modified blocks need re-reduction
+  (:func:`run_incremental_flow`);
+* an online graph-editing flow on top of
+  :class:`repro.service.ResistanceService` — edge weights change (or edges
+  appear), the service refreshes in place, and the flow reports refresh
+  cost and post-refresh accuracy against the exact engine
+  (:func:`run_edge_update_flow`).
+
+For the power-grid flow:
 
 * ``Tred``  — time to re-reduce the modified blocks and re-stitch;
 * ``Tinc``  — time to DC-solve the reduced model;
@@ -18,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.graphs.graph import Graph
 from repro.powergrid.dc import dc_analysis, max_voltage_drop
 from repro.powergrid.netlist import PowerGrid
 from repro.reduction.pipeline import PGReducer, ReducedGrid, ReductionConfig
@@ -137,4 +147,81 @@ def run_incremental_flow(
         time_original_solve=time_original,
         err_volts=err,
         rel_error=rel,
+    )
+
+
+# ----------------------------------------------------------------------
+# graph-editing flow on top of ResistanceService
+# ----------------------------------------------------------------------
+@dataclass
+class EdgeUpdateOutcome:
+    """What one service refresh after graph edits cost, and how good it is."""
+
+    updated_graph: Graph
+    refresh_seconds: float
+    queries_after_refresh: int
+    max_rel_error: float
+    mean_rel_error: float
+    invalidated_results: int
+
+
+def perturb_edge_weights(
+    graph: Graph,
+    fraction: float = 0.1,
+    span: "tuple[float, float]" = (0.5, 2.0),
+    seed=None,
+) -> Graph:
+    """Scale a random ``fraction`` of edge weights by factors in ``span``."""
+    require(0 < fraction <= 1.0, "fraction in (0, 1]")
+    rng = ensure_rng(seed)
+    count = max(1, int(round(fraction * graph.num_edges)))
+    chosen = rng.choice(graph.num_edges, size=count, replace=False)
+    weights = graph.weights.copy()
+    weights[chosen] *= rng.uniform(*span, size=count)
+    return graph.with_weights(weights)
+
+
+def run_edge_update_flow(
+    service,
+    updated_graph: "Graph | None" = None,
+    modified_fraction: float = 0.1,
+    num_check_pairs: int = 64,
+    seed=0,
+) -> EdgeUpdateOutcome:
+    """Edit the served graph, refresh the service, and audit the answers.
+
+    Steps: perturb ~``modified_fraction`` of the edge weights (or take the
+    caller's ``updated_graph``), call
+    :meth:`~repro.service.ResistanceService.refresh_after_edge_update`,
+    re-query a random pair sample, and compare against the exact engine on
+    the updated graph.
+    """
+    from repro.core.effective_resistance import ExactEffectiveResistance
+
+    rng = ensure_rng(seed)
+    if updated_graph is None:
+        updated_graph = perturb_edge_weights(
+            service.graph, fraction=modified_fraction, seed=rng
+        )
+    refresh = service.refresh_after_edge_update(updated_graph)
+
+    n = updated_graph.num_nodes
+    pairs = np.column_stack([
+        rng.integers(0, n, size=num_check_pairs),
+        rng.integers(0, n, size=num_check_pairs),
+    ])
+    served = service.query_pairs(pairs)
+    truth = ExactEffectiveResistance(updated_graph).query_pairs(pairs)
+    finite = np.isfinite(truth) & (truth > 0)
+    rel = np.abs(served[finite] - truth[finite]) / truth[finite]
+    same = ~finite
+    consistent = np.array_equal(np.isfinite(served[same]), np.isfinite(truth[same]))
+    require(consistent, "service and exact engine disagree on connectivity")
+    return EdgeUpdateOutcome(
+        updated_graph=updated_graph,
+        refresh_seconds=refresh.rebuild_seconds,
+        queries_after_refresh=int(pairs.shape[0]),
+        max_rel_error=float(rel.max()) if rel.size else 0.0,
+        mean_rel_error=float(rel.mean()) if rel.size else 0.0,
+        invalidated_results=refresh.invalidated_results,
     )

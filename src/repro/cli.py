@@ -3,6 +3,7 @@
 Commands
 --------
 ``er``          effective resistances of a graph (file or generator)
+``service``     serve batched/centrality queries via ResistanceService
 ``dc``          DC operating point of a SPICE power grid
 ``transient``   Backward-Euler transient analysis of a SPICE power grid
 ``reduce``      Alg. 1 power-grid reduction (SPICE in → SPICE out)
@@ -50,7 +51,8 @@ def cmd_er(args) -> int:
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges", file=sys.stderr)
     kwargs = {}
     if args.method == "cholinv":
-        kwargs = {"epsilon": args.epsilon, "drop_tol": args.drop_tol, "ordering": args.ordering}
+        kwargs = {"epsilon": args.epsilon, "drop_tol": args.drop_tol,
+                  "ordering": args.ordering, "mode": args.mode}
     elif args.method == "random_projection":
         kwargs = {"seed": args.seed}
     if args.pairs:
@@ -68,6 +70,53 @@ def cmd_er(args) -> int:
     finally:
         if out is not sys.stdout:
             out.close()
+    return 0
+
+
+def cmd_service(args) -> int:
+    """Serve pair queries / edge-centrality rankings from a ResistanceService."""
+    import time
+
+    from repro.service import ResistanceService
+
+    if not args.pairs and not args.top_k:
+        print("nothing to do: pass --pairs and/or --top-k", file=sys.stderr)
+        return 1
+    graph = _load_graph(args)
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges", file=sys.stderr)
+    kwargs = {}
+    if args.method == "cholinv":
+        kwargs = {"epsilon": args.epsilon, "drop_tol": args.drop_tol,
+                  "ordering": args.ordering, "mode": args.mode}
+    t0 = time.perf_counter()
+    service = ResistanceService(graph, method=args.method, **kwargs)
+    print(f"service built in {time.perf_counter() - t0:.2f}s", file=sys.stderr)
+
+    if args.pairs:
+        pairs = np.asarray(
+            [tuple(int(x) for x in pair.split(",")) for pair in args.pairs]
+        )
+        repeat = max(args.repeat, 1)
+        t0 = time.perf_counter()
+        for _ in range(repeat):
+            values = service.query_pairs(pairs)
+        elapsed = time.perf_counter() - t0
+        print("p,q,r_eff")
+        for (p, q), r in zip(pairs, values):
+            print(f"{int(p)},{int(q)},{r:.10g}")
+        total = pairs.shape[0] * repeat
+        print(
+            f"{total} queries in {elapsed:.3f}s "
+            f"({total / max(elapsed, 1e-12):.0f} q/s, "
+            f"hit rate {service.stats.hit_rate:.1%})",
+            file=sys.stderr,
+        )
+    if args.top_k:
+        edges, centrality = service.top_k_central_edges(args.top_k)
+        print(f"top {len(edges)} central edges (w(e)·R(e)):")
+        for e, c in zip(edges, centrality):
+            u, v = int(graph.heads[e]), int(graph.tails[e])
+            print(f"  ({u}, {v})  centrality={c:.6g}")
     return 0
 
 
@@ -170,6 +219,21 @@ def cmd_fig1(args) -> int:
     return 0
 
 
+def _add_graph_engine_arguments(parser, methods) -> None:
+    """Graph-source and engine options shared by ``er`` and ``service``."""
+    parser.add_argument("--edgelist", help="edge-list file (u v [w] per line)")
+    parser.add_argument("--mtx", help="MatrixMarket adjacency/Laplacian file")
+    parser.add_argument("--generator", help="grid2d:RxC | mesh2d:RxC | ba:N")
+    parser.add_argument("--method", default="cholinv", choices=methods)
+    parser.add_argument("--epsilon", type=float, default=1e-3)
+    parser.add_argument("--drop-tol", dest="drop_tol", type=float, default=1e-3)
+    parser.add_argument("--ordering", default="amd",
+                        choices=["amd", "rcm", "natural", "nested_dissection"])
+    parser.add_argument("--mode", default="blocked", choices=["blocked", "reference"],
+                        help="Alg. 2 kernel (cholinv only)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -178,19 +242,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     er = sub.add_parser("er", help="compute effective resistances")
-    er.add_argument("--edgelist", help="edge-list file (u v [w] per line)")
-    er.add_argument("--mtx", help="MatrixMarket adjacency/Laplacian file")
-    er.add_argument("--generator", help="grid2d:RxC | mesh2d:RxC | ba:N")
-    er.add_argument("--method", default="cholinv",
-                    choices=["cholinv", "exact", "random_projection"])
-    er.add_argument("--epsilon", type=float, default=1e-3)
-    er.add_argument("--drop-tol", dest="drop_tol", type=float, default=1e-3)
-    er.add_argument("--ordering", default="amd",
-                    choices=["amd", "rcm", "natural", "nested_dissection"])
+    _add_graph_engine_arguments(er, ["cholinv", "exact", "random_projection"])
     er.add_argument("--pairs", nargs="*", help='queries like "12,97" (default: all edges)')
     er.add_argument("--output", default="-", help="CSV path or - for stdout")
-    er.add_argument("--seed", type=int, default=0)
     er.set_defaults(func=cmd_er)
+
+    sv = sub.add_parser("service", help="serve cached pair/centrality queries")
+    _add_graph_engine_arguments(sv, ["cholinv", "exact"])
+    sv.add_argument("--pairs", nargs="*", help='queries like "12,97"')
+    sv.add_argument("--repeat", type=int, default=1,
+                    help="repeat the pair batch (exercises the result cache)")
+    sv.add_argument("--top-k", dest="top_k", type=int, default=0,
+                    help="print the k most central edges (w(e)·R(e))")
+    sv.set_defaults(func=cmd_service)
 
     dc = sub.add_parser("dc", help="DC analysis of a SPICE power grid")
     dc.add_argument("netlist")

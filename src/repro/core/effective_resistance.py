@@ -118,6 +118,11 @@ class CholInvEffectiveResistance:
         Diagonal grounding conductance (default: mean edge weight).
     small_column_threshold:
         Alg. 2 line 3 threshold (default ``log n``).
+    mode:
+        Alg. 2 kernel: ``"blocked"`` (default, level-scheduled batched
+        kernel) or ``"reference"`` (the original column-at-a-time loop).
+        Both produce the same ``Z̃``; see
+        :mod:`repro.core.approx_inverse`.
 
     Attributes
     ----------
@@ -137,10 +142,12 @@ class CholInvEffectiveResistance:
         ordering: str = "amd",
         ground_value: "float | None" = None,
         small_column_threshold: "float | None" = None,
+        mode: str = "blocked",
     ):
         self.graph = graph
         self.epsilon = epsilon
         self.drop_tol = drop_tol
+        self.mode = mode
         self.timer = Timer()
         if ground_value is None:
             ground_value = float(graph.weights.mean()) if graph.num_edges else 1.0
@@ -155,6 +162,7 @@ class CholInvEffectiveResistance:
                 self.ichol_result.lower,
                 epsilon=epsilon,
                 small_column_threshold=small_column_threshold,
+                mode=mode,
             )
         perm = self.ichol_result.perm
         self._position = np.empty_like(perm)

@@ -59,9 +59,12 @@ def read_edgelist(path: "str | Path", num_nodes: "int | None" = None) -> Graph:
     heads_arr = np.asarray(heads, dtype=np.int64)
     tails_arr = np.asarray(tails, dtype=np.int64)
     ids = np.unique(np.concatenate([heads_arr, tails_arr])) if heads_arr.size else np.empty(0, np.int64)
-    if declared_nodes is not None and (ids.size == 0 or ids.max() < declared_nodes) and (
-        ids.size == declared_nodes or ids.size == 0 or ids.max() == ids.size - 1
+    if declared_nodes is not None and (
+        ids.size == 0 or (ids.min() >= 0 and ids.max() < declared_nodes)
     ):
+        # the caller (or header) declared the node count and every id fits:
+        # keep ids verbatim — non-contiguous ids like (0, 5) name isolated
+        # nodes in between, they must not be compacted to (0, 1)
         n = declared_nodes
         new_heads, new_tails = heads_arr, tails_arr
     else:

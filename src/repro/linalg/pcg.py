@@ -83,19 +83,21 @@ def pcg(
     res_norm = float(np.linalg.norm(r))
     while res_norm / b_norm > rtol and iterations < max_iterations:
         ap = a @ p
+        # `iterations` counts matrix-vector products: incrementing right at
+        # the product keeps the early-convergence break and the loop-exit
+        # path consistent (preconditioner-quality tests compare counts)
+        iterations += 1
         alpha = rz / float(p @ ap)
         x += alpha * p
         r -= alpha * ap
         res_norm = float(np.linalg.norm(r))
         if res_norm / b_norm <= rtol:
-            iterations += 1
             break
         z = preconditioner(r) if preconditioner is not None else r
         rz_next = float(r @ z)
         beta = rz_next / rz
         rz = rz_next
         p = z + beta * p
-        iterations += 1
     return PCGResult(
         x=x,
         iterations=iterations,

@@ -125,6 +125,11 @@ def multilevel_kway(
         return labels
 
     def split(nodes: np.ndarray, blocks: int, first_label: int) -> None:
+        if nodes.size == 0:
+            return
+        # never ask for more blocks than nodes: a 1-node subproblem with
+        # blocks >= 2 would recurse on an empty side and crash in subgraph()
+        blocks = min(blocks, int(nodes.size))
         if blocks == 1:
             labels[nodes] = first_label
             return

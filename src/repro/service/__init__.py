@@ -1,0 +1,16 @@
+"""Query-serving layer on top of the effective-resistance engines.
+
+:class:`~repro.service.resistance_service.ResistanceService` owns a built
+engine (Alg. 3 by default), answers batched pair queries through an LRU
+result cache plus an LRU cache of hot ``Z̃`` columns, ranks edges by
+spanning-edge centrality, and supports in-place refresh after graph edits —
+the building block the ROADMAP's sharding/async work composes on.
+"""
+
+from repro.service.resistance_service import (
+    RefreshStats,
+    ResistanceService,
+    ServiceStats,
+)
+
+__all__ = ["ResistanceService", "ServiceStats", "RefreshStats"]

@@ -1,0 +1,309 @@
+"""``ResistanceService`` — a cached, refreshable query front-end.
+
+The engines in :mod:`repro.core.effective_resistance` are one-shot: build,
+query, throw away.  Serving traffic needs a layer that (a) amortises the
+build across millions of queries, (b) exploits the heavy skew of real query
+streams (hot pairs, hot vertices) with caches, and (c) survives graph edits
+without a caller-visible rebuild dance.  ``ResistanceService`` provides:
+
+* ``query`` / ``query_pairs`` — batched pair queries through an LRU result
+  cache; misses are answered by one vectorised engine call;
+* a column LRU holding hot ``Z̃`` columns so single-pair queries on popular
+  vertices skip sparse-matrix slicing entirely (Alg. 3 engines only);
+* ``top_k_central_edges`` — spanning-edge centrality ranking (WWW'15
+  application) with the all-edge resistance vector cached;
+* ``refresh_after_edge_update`` — rebuild the engine for an edited graph
+  (same configuration), invalidate every cache, and report timings; used by
+  the incremental design flow in :mod:`repro.apps.incremental`.
+
+The service is deliberately engine-agnostic: ``method="cholinv"`` (default)
+uses the paper's Alg. 3 with the blocked Alg. 2 kernel, ``method="exact"``
+the direct factorisation engine — the regression suite runs the same
+behavioural checks across both.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.effective_resistance import (
+    CholInvEffectiveResistance,
+    ExactEffectiveResistance,
+)
+from repro.graphs.graph import Graph
+from repro.utils.validation import require
+
+_METHODS = ("cholinv", "exact")
+
+
+@dataclass
+class ServiceStats:
+    """Counters a service accumulates over its lifetime."""
+
+    queries: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    column_hits: int = 0
+    column_misses: int = 0
+    refreshes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of pair queries answered from the result cache."""
+        total = self.result_hits + self.result_misses
+        return self.result_hits / total if total else 0.0
+
+
+@dataclass
+class RefreshStats:
+    """Outcome of one :meth:`ResistanceService.refresh_after_edge_update`."""
+
+    rebuild_seconds: float
+    num_nodes: int
+    num_edges: int
+    invalidated_results: int
+    invalidated_columns: int
+
+
+@dataclass
+class _LRU:
+    """Tiny ordered-dict LRU; values are opaque to the service."""
+
+    capacity: int
+    data: "OrderedDict" = field(default_factory=OrderedDict)
+
+    def get(self, key):
+        value = self.data.get(key)
+        if value is not None or key in self.data:
+            self.data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self.data[key] = value
+        self.data.move_to_end(key)
+        while len(self.data) > self.capacity:
+            self.data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def clear(self) -> None:
+        self.data.clear()
+
+
+class ResistanceService:
+    """Long-lived, cached effective-resistance query service.
+
+    Parameters
+    ----------
+    graph:
+        Weighted undirected graph to serve queries on.
+    method:
+        ``"cholinv"`` (Alg. 3, default) or ``"exact"``.
+    result_cache_size:
+        Maximum cached pair results (LRU, default 65536).
+    column_cache_size:
+        Maximum cached hot ``Z̃`` columns (LRU, default 4096; only used by
+        the ``cholinv`` engine).
+    engine_kwargs:
+        Forwarded to the engine constructor on every (re)build — e.g.
+        ``epsilon``, ``drop_tol``, ``ordering``, ``mode`` for ``cholinv``.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        method: str = "cholinv",
+        result_cache_size: int = 65536,
+        column_cache_size: int = 4096,
+        **engine_kwargs,
+    ):
+        if method not in _METHODS:
+            raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+        require(result_cache_size >= 0, "result_cache_size must be >= 0")
+        require(column_cache_size >= 0, "column_cache_size must be >= 0")
+        self.method = method
+        self.engine_kwargs = dict(engine_kwargs)
+        self.stats = ServiceStats()
+        self._results = _LRU(result_cache_size)
+        self._columns = _LRU(column_cache_size)
+        self._edge_resistances: "np.ndarray | None" = None
+        self._build(graph)
+
+    # ------------------------------------------------------------------
+    # construction / refresh
+    # ------------------------------------------------------------------
+    def _build(self, graph: Graph) -> float:
+        start = time.perf_counter()
+        if self.method == "cholinv":
+            self.engine = CholInvEffectiveResistance(graph, **self.engine_kwargs)
+        else:
+            self.engine = ExactEffectiveResistance(graph, **self.engine_kwargs)
+        self.graph = graph
+        return time.perf_counter() - start
+
+    def refresh_after_edge_update(
+        self,
+        graph: "Graph | None" = None,
+        edges=None,
+        weights=None,
+    ) -> RefreshStats:
+        """Rebuild the engine after graph edits and invalidate all caches.
+
+        Either pass the fully edited ``graph``, or ``edges`` (an ``(m, 2)``
+        array) with matching ``weights`` to add on top of the current graph
+        — parallel occurrences coalesce, so adding an existing edge *adds
+        conductance* exactly like wiring a resistor in parallel.
+        """
+        if graph is None:
+            require(edges is not None, "pass either graph or edges")
+            edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+            new_weights = (
+                np.ones(edges.shape[0])
+                if weights is None
+                else np.asarray(weights, dtype=np.float64)
+            )
+            graph = Graph(
+                self.graph.num_nodes,
+                np.concatenate([self.graph.heads, edges[:, 0]]),
+                np.concatenate([self.graph.tails, edges[:, 1]]),
+                np.concatenate([self.graph.weights, new_weights]),
+            ).coalesce()
+        else:
+            require(edges is None and weights is None,
+                    "pass either graph or edges, not both")
+        invalidated_results = len(self._results)
+        invalidated_columns = len(self._columns)
+        self._results.clear()
+        self._columns.clear()
+        self._edge_resistances = None
+        rebuild = self._build(graph)
+        self.stats.refreshes += 1
+        return RefreshStats(
+            rebuild_seconds=rebuild,
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            invalidated_results=invalidated_results,
+            invalidated_columns=invalidated_columns,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, p: int, q: int) -> float:
+        """Effective resistance between ``p`` and ``q`` (cached)."""
+        p, q = int(p), int(q)
+        self.stats.queries += 1
+        if p == q:
+            return 0.0
+        key = (p, q) if p < q else (q, p)
+        cached = self._results.get(key)
+        if cached is not None:
+            self.stats.result_hits += 1
+            return cached
+        self.stats.result_misses += 1
+        value = self._answer_single(key[0], key[1])
+        self._results.put(key, value)
+        return value
+
+    def query_pairs(self, pairs) -> np.ndarray:
+        """Effective resistances for an ``(m, 2)`` array of node pairs.
+
+        Cached pairs are answered from the LRU; all misses go to the engine
+        in one vectorised call (deduplicated first).
+        """
+        arr = np.asarray(pairs, dtype=np.int64)
+        if arr.ndim == 1 and arr.shape[0] == 2:
+            arr = arr.reshape(1, 2)
+        require(arr.ndim == 2 and arr.shape[1] == 2, "pairs must be an (m, 2) array")
+        m = arr.shape[0]
+        self.stats.queries += m
+        lo = np.minimum(arr[:, 0], arr[:, 1])
+        hi = np.maximum(arr[:, 0], arr[:, 1])
+        out = np.zeros(m)
+        get = self._results.get
+        missing: "dict[tuple[int, int], list[int]]" = {}
+        for i in range(m):
+            a, b = int(lo[i]), int(hi[i])
+            if a == b:
+                continue
+            cached = get((a, b))
+            if cached is not None:
+                out[i] = cached
+                self.stats.result_hits += 1
+            else:
+                missing.setdefault((a, b), []).append(i)
+        if missing:
+            self.stats.result_misses += len(missing)
+            keys = np.array(list(missing.keys()), dtype=np.int64)
+            values = self.engine.query_pairs(keys)
+            put = self._results.put
+            for (key, slots), value in zip(missing.items(), values):
+                value = float(value)
+                put(key, value)
+                for i in slots:
+                    out[i] = value
+        return out
+
+    def _answer_single(self, p: int, q: int) -> float:
+        """One uncached pair — via hot columns for Alg. 3, engine otherwise."""
+        engine = self.engine
+        if isinstance(engine, CholInvEffectiveResistance):
+            if engine.component_labels[p] != engine.component_labels[q]:
+                return float("inf")
+            cp = engine._position[p]
+            cq = engine._position[q]
+            rows_p, vals_p = self._column(int(cp))
+            rows_q, vals_q = self._column(int(cq))
+            # dot of two sorted sparse columns via index intersection
+            common, ip, iq = np.intersect1d(
+                rows_p, rows_q, assume_unique=True, return_indices=True
+            )
+            del common
+            dot = float(vals_p[ip] @ vals_q[iq]) if ip.size else 0.0
+            norms = engine._column_sq_norms
+            return max(float(norms[cp] + norms[cq] - 2.0 * dot), 0.0)
+        return float(engine.query_pairs([(p, q)])[0])
+
+    def _column(self, j: int) -> "tuple[np.ndarray, np.ndarray]":
+        """Hot-column cache: (rows, values) of permuted ``Z̃`` column ``j``."""
+        cached = self._columns.get(j)
+        if cached is not None:
+            self.stats.column_hits += 1
+            return cached
+        self.stats.column_misses += 1
+        z = self.engine.z_tilde
+        start, end = z.indptr[j], z.indptr[j + 1]
+        column = (z.indices[start:end], z.data[start:end])
+        self._columns.put(j, column)
+        return column
+
+    # ------------------------------------------------------------------
+    # centrality
+    # ------------------------------------------------------------------
+    def all_edge_resistances(self) -> np.ndarray:
+        """Effective resistance of every edge (cached after the first call)."""
+        if self._edge_resistances is None:
+            self._edge_resistances = self.engine.query_pairs(self.graph.edge_array())
+        return self._edge_resistances
+
+    def top_k_central_edges(self, k: int) -> "tuple[np.ndarray, np.ndarray]":
+        """The ``k`` edges with the highest spanning-edge centrality.
+
+        Returns ``(edge_indices, centralities)`` sorted by decreasing
+        centrality ``w(e)·R(e)`` — the probability the edge appears in a
+        uniformly random spanning tree (ties broken by edge index).
+        """
+        require(k >= 1, "k must be >= 1")
+        centrality = self.graph.weights * self.all_edge_resistances()
+        k = min(k, centrality.shape[0])
+        if k == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        # stable two-pass selection keeps deterministic tie order
+        top = np.argpartition(-centrality, k - 1)[:k]
+        top = top[np.lexsort((top, -centrality[top]))]
+        return top, centrality[top]

@@ -105,3 +105,36 @@ class TestInterface:
         lower = sp.csc_matrix(np.array([[0.0, 0.0], [1.0, 1.0]]))
         with pytest.raises(ValueError):
             approximate_inverse(lower, epsilon=0.0)
+
+    @pytest.mark.parametrize("mode", ["blocked", "reference"])
+    def test_empty_column_reports_clearly(self, mode):
+        """Regression: an empty column used to make the diagonal-first check
+        read the *next* column's first entry (or run off the end of the
+        index array for a trailing empty column)."""
+        # middle column empty
+        middle = sp.csc_matrix(
+            (np.array([1.0, 2.0]), np.array([0, 2]), np.array([0, 1, 1, 2])),
+            shape=(3, 3),
+        )
+        with pytest.raises(ValueError, match="empty column 1"):
+            approximate_inverse(middle, epsilon=0.0, mode=mode)
+        # trailing column empty — previously an out-of-bounds read
+        trailing = sp.csc_matrix(
+            (np.array([1.0, 2.0]), np.array([0, 1]), np.array([0, 1, 2, 2])),
+            shape=(3, 3),
+        )
+        with pytest.raises(ValueError, match="empty column 2"):
+            approximate_inverse(trailing, epsilon=0.0, mode=mode)
+
+    @pytest.mark.parametrize("mode", ["blocked", "reference"])
+    def test_modes_share_validation(self, mesh_factor, mode):
+        with pytest.raises(ValueError):
+            approximate_inverse(mesh_factor.lower, epsilon=-1.0, mode=mode)
+
+    def test_blocked_is_default_and_matches_reference(self, mesh_factor):
+        z_default, _ = approximate_inverse(mesh_factor.lower, epsilon=1e-3)
+        z_ref, _ = approximate_inverse(
+            mesh_factor.lower, epsilon=1e-3, mode="reference"
+        )
+        assert np.array_equal(z_default.indices, z_ref.indices)
+        assert np.allclose(z_default.data, z_ref.data, rtol=1e-12, atol=0.0)

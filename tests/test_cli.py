@@ -56,6 +56,31 @@ class TestER:
             main(["er", "--generator", "torus:3"])
 
 
+class TestService:
+    def test_pairs_and_top_k(self, capsys):
+        code = main([
+            "service", "--generator", "grid2d:6x6",
+            "--pairs", "0,35", "0,1", "--repeat", "3", "--top-k", "2",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "0,35," in captured.out
+        assert "top 2 central edges" in captured.out
+        assert "hit rate" in captured.err
+
+    def test_reference_mode_agrees(self, capsys):
+        main(["service", "--generator", "grid2d:5x5", "--mode", "reference",
+              "--pairs", "0,24"])
+        ref = capsys.readouterr().out.splitlines()[1]
+        main(["service", "--generator", "grid2d:5x5", "--mode", "blocked",
+              "--pairs", "0,24"])
+        blocked = capsys.readouterr().out.splitlines()[1]
+        assert ref == blocked
+
+    def test_nothing_to_do(self, capsys):
+        assert main(["service", "--generator", "grid2d:4x4"]) == 1
+
+
 class TestPowerGridCommands:
     def test_dc(self, netlist, capsys):
         assert main(["dc", str(netlist), "--top", "3"]) == 0

@@ -47,6 +47,36 @@ def test_edgelist_compacts_sparse_ids(tmp_path):
     assert g.num_edges == 2
 
 
+def test_edgelist_declared_nodes_preserves_ids_verbatim(tmp_path):
+    """Regression: with num_nodes declared, in-range ids must not be
+    remapped — edge (0, 5) in a 10-node graph used to silently become
+    (0, 1), rewiring queries against the wrong vertices."""
+    path = tmp_path / "gap_ids.txt"
+    path.write_text("0 5\n")
+    g = read_edgelist(path, num_nodes=10)
+    assert g.num_nodes == 10
+    assert (int(g.heads[0]), int(g.tails[0])) == (0, 5)
+
+
+def test_edgelist_header_nodes_preserves_ids(tmp_path):
+    path = tmp_path / "gap_header.txt"
+    path.write_text("# nodes 8 edges 2\n1 3\n3 6\n")
+    g = read_edgelist(path)
+    assert g.num_nodes == 8
+    assert sorted(zip(g.heads.tolist(), g.tails.tolist())) == [(1, 3), (3, 6)]
+
+
+def test_edgelist_out_of_range_ids_still_compact(tmp_path):
+    """Ids beyond the declared count cannot be preserved — fall back to
+    compaction with at least the declared node count."""
+    path = tmp_path / "overflow_ids.txt"
+    path.write_text("0 99\n")
+    g = read_edgelist(path, num_nodes=10)
+    assert g.num_nodes == 10
+    assert g.num_edges == 1
+    assert int(g.tails.max()) < 10
+
+
 def test_matrix_market_round_trip(tmp_path, weighted_mesh):
     path = tmp_path / "mesh.mtx"
     write_matrix_market(weighted_mesh, path)

@@ -95,6 +95,18 @@ class TestKway:
         labels = partition_graph(g, 1)
         assert np.all(labels == 0)
 
+    @pytest.mark.parametrize("k", [2, 3, 5, 8])
+    def test_more_blocks_than_nodes(self, k):
+        """Regression: asking a tiny graph for many blocks used to recurse
+        onto an empty node set and crash building a 0-node subgraph."""
+        from repro.graphs.graph import Graph
+
+        g = Graph.from_edges(2, [(0, 1)])
+        labels = multilevel_kway(g, k, seed=0)
+        assert labels.shape == (2,)
+        assert labels.min() >= 0
+        assert labels.max() < k
+
     def test_irregular_graph(self):
         g = barabasi_albert_graph(400, 3, seed=7)
         labels = multilevel_kway(g, 4, seed=8)

@@ -40,6 +40,23 @@ def test_max_iterations_respected(spd_matrix):
     assert not result.converged
 
 
+def test_iteration_count_consistent_across_exit_paths(spd_matrix):
+    """Regression: ``iterations`` equals the number of A@p products on both
+    exit paths, so re-running with ``max_iterations`` set to a converged
+    run's count reproduces it exactly, and one fewer falls just short."""
+    rng = np.random.default_rng(5)
+    b = rng.normal(size=spd_matrix.shape[0])
+    full = pcg(spd_matrix, b, rtol=1e-8)  # early-convergence break path
+    assert full.converged and full.iterations > 1
+    replay = pcg(spd_matrix, b, rtol=1e-8, max_iterations=full.iterations)
+    assert replay.converged
+    assert replay.iterations == full.iterations
+    assert np.allclose(replay.x, full.x)
+    short = pcg(spd_matrix, b, rtol=1e-8, max_iterations=full.iterations - 1)
+    assert not short.converged  # loop-condition exit path
+    assert short.iterations == full.iterations - 1
+
+
 def test_preconditioner_reduces_iterations():
     graph = fe_mesh_2d(14, 14, seed=1)
     matrix, _ = grounded_laplacian(graph, 1.0)
