@@ -3,17 +3,32 @@ the Cholesky factor (reproduction of Liu & Yu, DATE 2023).
 
 Quickstart
 ----------
->>> from repro import grid_2d, CholInvEffectiveResistance
+>>> from repro import EngineConfig, build_engine, grid_2d
 >>> graph = grid_2d(30, 30)
->>> est = CholInvEffectiveResistance(graph, epsilon=1e-3, drop_tol=1e-3)
->>> r = est.query(0, 899)
+>>> engine = build_engine(graph, EngineConfig(epsilon=1e-3, drop_tol=1e-3))
+>>> r = engine.query(0, 899)
+>>> path = engine.save("engine.npz")          # persist the built factor
+>>> from repro import load_engine
+>>> restored = load_engine(path)              # warm-start, bit-identical
+
+Every solver implements the :class:`~repro.core.engine.ResistanceEngine`
+protocol and registers under a short name (``"cholinv"``, ``"exact"``,
+``"random_projection"``, ``"naive"``); :func:`~repro.core.engine.build_engine`
+is the one factory the convenience API, the service layer, the bench
+harness and the CLI dispatch through.  ``EngineConfig(sharded=True)``
+serves each connected component from its own sub-engine
+(:class:`~repro.core.sharded.ShardedEngine`).
 
 Layers
 ------
 * :mod:`repro.graphs` — graph container, Laplacians, generators, IO;
 * :mod:`repro.cholesky` — sparse complete/incomplete Cholesky substrate;
-* :mod:`repro.core` — the paper's Alg. 2 / Alg. 3 and error analysis;
-* :mod:`repro.baselines` — WWW'15 random projection and the naive method;
+* :mod:`repro.core` — the paper's Alg. 2 / Alg. 3 and error analysis, the
+  engine protocol/registry (:mod:`repro.core.engine`), component sharding
+  (:mod:`repro.core.sharded`) and engine persistence
+  (:mod:`repro.core.persistence`);
+* :mod:`repro.baselines` — WWW'15 random projection and the naive method
+  (registered engines like everything else);
 * :mod:`repro.powergrid` — power-grid netlists, MNA, DC and transient
   analysis;
 * :mod:`repro.partition` — METIS-substitute graph partitioning;
@@ -36,7 +51,16 @@ from repro.core.effective_resistance import (
     effective_resistances,
     spanning_edge_centrality,
 )
+from repro.core.engine import (
+    EngineConfig,
+    ResistanceEngine,
+    build_engine,
+    register_engine,
+    registered_engines,
+)
 from repro.core.error_bounds import estimate_query_errors, theorem1_bound
+from repro.core.persistence import load_engine, save_engine
+from repro.core.sharded import ShardedEngine
 from repro.graphs.generators import (
     barabasi_albert_graph,
     complete_graph,
@@ -68,6 +92,14 @@ __all__ = [
     "ICholResult",
     "approximate_inverse",
     "ApproxInverseStats",
+    "ResistanceEngine",
+    "EngineConfig",
+    "register_engine",
+    "registered_engines",
+    "build_engine",
+    "ShardedEngine",
+    "save_engine",
+    "load_engine",
     "CholInvEffectiveResistance",
     "ExactEffectiveResistance",
     "RandomProjectionEffectiveResistance",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.effective_resistance import _as_pair_arrays
+from repro.core.engine import ResistanceEngine, as_pair_columns, register_engine
 from repro.graphs.components import connected_components
 from repro.graphs.graph import Graph
 from repro.graphs.laplacian import grounded_laplacian
@@ -19,7 +19,8 @@ from repro.linalg.pcg import pcg
 from repro.utils.timing import Timer
 
 
-class NaivePerQueryResistance:
+@register_engine("naive", params=("ground_value", "rtol"))
+class NaivePerQueryResistance(ResistanceEngine):
     """One unpreconditioned CG solve per query; nothing cached but the matrix."""
 
     def __init__(self, graph: Graph, ground_value: "float | None" = None, rtol: float = 1e-10):
@@ -47,5 +48,6 @@ class NaivePerQueryResistance:
 
     def query_pairs(self, pairs) -> np.ndarray:
         """Loop of per-query solves (intentionally unamortised)."""
-        ps, qs = _as_pair_arrays(pairs)
-        return np.array([self.query(int(p), int(q)) for p, q in zip(ps, qs)])
+        ps, qs = as_pair_columns(pairs)
+        return np.array([self.query(int(p), int(q)) for p, q in zip(ps, qs)],
+                        dtype=np.float64)

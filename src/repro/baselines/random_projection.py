@@ -30,7 +30,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse.linalg as spla
 
-from repro.core.effective_resistance import _as_pair_arrays
+from repro.core.engine import ResistanceEngine, as_pair_columns, register_engine
 from repro.graphs.components import connected_components
 from repro.graphs.graph import Graph
 from repro.graphs.laplacian import grounded_laplacian
@@ -49,7 +49,12 @@ def default_num_projections(num_edges: int, c_jl: float = 100.0) -> int:
     return max(1, int(np.ceil(c_jl * np.log(max(num_edges, 2)))))
 
 
-class RandomProjectionEffectiveResistance:
+@register_engine(
+    "random_projection",
+    params=("num_projections", "c_jl", "ground_value", "solver",
+            "pcg_rtol", "seed"),
+)
+class RandomProjectionEffectiveResistance(ResistanceEngine):
     """The WWW'15 baseline: project the edge embedding, solve ``k`` systems.
 
     Parameters
@@ -126,13 +131,9 @@ class RandomProjectionEffectiveResistance:
                 self.embedding[:, i] = solve_one(y)
         self.n = n
 
-    def query(self, p: int, q: int) -> float:
-        """Approximate effective resistance between ``p`` and ``q``."""
-        return float(self.query_pairs([(p, q)])[0])
-
     def query_pairs(self, pairs) -> np.ndarray:
         """Approximate effective resistances for ``(m, 2)`` node pairs."""
-        ps, qs = _as_pair_arrays(pairs)
+        ps, qs = as_pair_columns(pairs)
         with self.timer.section("queries"):
             diff = self.embedding[ps] - self.embedding[qs]
             out = np.einsum("ij,ij->i", diff, diff)
@@ -140,10 +141,6 @@ class RandomProjectionEffectiveResistance:
         out[~same] = np.inf
         out[ps == qs] = 0.0
         return out
-
-    def all_edge_resistances(self) -> np.ndarray:
-        """Approximate effective resistance of every edge."""
-        return self.query_pairs(self.graph.edge_array())
 
     @property
     def projection_nnz(self) -> int:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.engine import EngineConfig
 from repro.graphs.generators import (
     barabasi_albert_graph,
     fe_mesh_2d,
@@ -45,13 +46,20 @@ class PaperTable1Reference:
 
 @dataclass(frozen=True)
 class Table1Case:
-    """A Table I workload: generator + the paper row it stands in for."""
+    """A Table I workload: generator + the paper row it stands in for.
+
+    ``engine`` is the base :class:`~repro.core.engine.EngineConfig` the
+    runner derives the Alg. 3 and baseline configurations from (the
+    paper's defaults); per-case overrides slot in here without touching
+    the runner.
+    """
 
     name: str
     family: str
     builder: "Callable[[], Graph]"
     stands_in_for: str
     paper: PaperTable1Reference
+    engine: EngineConfig = EngineConfig()
 
 
 TABLE1_CASES: "dict[str, Table1Case]" = {

@@ -17,13 +17,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.random_projection import RandomProjectionEffectiveResistance
 from repro.bench.cases import Table1Case
 from repro.bench.reporting import format_table, speedup
-from repro.core.effective_resistance import (
-    CholInvEffectiveResistance,
-    ExactEffectiveResistance,
-)
+from repro.core.engine import build_engine
 from repro.core.error_bounds import estimate_query_errors
 from repro.utils.timing import timed
 
@@ -76,12 +72,13 @@ def run_table1_case(
     the CMG iterative solver the WWW'15 code uses.
     """
     graph = case.builder()
-    exact = ExactEffectiveResistance(graph)
+    exact = build_engine(graph, case.engine.replace(method="exact"))
 
     with timed() as elapsed:
-        alg3 = CholInvEffectiveResistance(
-            graph, epsilon=epsilon, drop_tol=drop_tol, ordering=ordering
-        )
+        alg3 = build_engine(graph, case.engine.replace(
+            method="cholinv", epsilon=epsilon, drop_tol=drop_tol,
+            ordering=ordering,
+        ))
         alg3.all_edge_resistances()
     alg3_time = elapsed()
     alg3_errors = estimate_query_errors(
@@ -90,9 +87,10 @@ def run_table1_case(
 
     if run_baseline:
         with timed() as elapsed:
-            baseline = RandomProjectionEffectiveResistance(
-                graph, c_jl=baseline_c_jl, solver=baseline_solver, seed=seed
-            )
+            baseline = build_engine(graph, case.engine.replace(
+                method="random_projection", c_jl=baseline_c_jl,
+                solver=baseline_solver, seed=seed,
+            ))
             baseline.all_edge_resistances()
         baseline_time = elapsed()
         baseline_errors = estimate_query_errors(

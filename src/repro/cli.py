@@ -2,8 +2,13 @@
 
 Commands
 --------
-``er``          effective resistances of a graph (file or generator)
+``er``          effective resistances of a graph (file or generator);
+                ``--method`` accepts any registered engine, ``--sharded``
+                builds one sub-engine per connected component, and
+                ``--save-engine``/``--load-engine`` persist/warm-start
+                built Alg. 3 engines
 ``service``     serve batched/centrality queries via ResistanceService
+                (same engine/persistence options as ``er``)
 ``dc``          DC operating point of a SPICE power grid
 ``transient``   Backward-Euler transient analysis of a SPICE power grid
 ``reduce``      Alg. 1 power-grid reduction (SPICE in → SPICE out)
@@ -43,25 +48,59 @@ def _load_graph(args):
     raise SystemExit(f"unknown generator {args.generator!r}")
 
 
+def _engine_config(args):
+    """Fold the shared engine options into one EngineConfig."""
+    from repro.core.engine import EngineConfig
+
+    return EngineConfig(
+        method=args.method, epsilon=args.epsilon, drop_tol=args.drop_tol,
+        ordering=args.ordering, mode=args.mode, seed=args.seed,
+        sharded=args.sharded, lazy_shards=args.lazy_shards,
+    )
+
+
+def _reject_graph_source_with_load(args) -> None:
+    """A loaded engine brings its own graph and configuration."""
+    if args.edgelist or args.mtx or args.generator:
+        raise SystemExit(
+            "--load-engine restores the saved graph and engine settings; "
+            "remove --edgelist/--mtx/--generator (engine options are "
+            "taken from the saved file too)"
+        )
+
+
+def _save_engine(engine, path) -> None:
+    try:
+        saved = engine.save(path)
+    except NotImplementedError as exc:
+        raise SystemExit(str(exc))
+    print(f"engine saved to {saved}", file=sys.stderr)
+
+
 def cmd_er(args) -> int:
     """Compute effective resistances and print/save them."""
-    from repro.core.effective_resistance import effective_resistances
+    from repro.core.engine import build_engine
 
-    graph = _load_graph(args)
+    if args.load_engine:
+        from repro.core.persistence import load_engine
+
+        _reject_graph_source_with_load(args)
+        engine = load_engine(args.load_engine)
+        graph = engine.graph
+        print(f"engine loaded from {args.load_engine}", file=sys.stderr)
+    else:
+        graph = _load_graph(args)
+        engine = build_engine(graph, _engine_config(args))
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges", file=sys.stderr)
-    kwargs = {}
-    if args.method == "cholinv":
-        kwargs = {"epsilon": args.epsilon, "drop_tol": args.drop_tol,
-                  "ordering": args.ordering, "mode": args.mode}
-    elif args.method == "random_projection":
-        kwargs = {"seed": args.seed}
+    if args.save_engine:
+        _save_engine(engine, args.save_engine)
     if args.pairs:
         pairs = np.asarray(
             [tuple(int(x) for x in pair.split(",")) for pair in args.pairs]
         )
     else:
         pairs = graph.edge_array()
-    values = effective_resistances(graph, pairs, method=args.method, **kwargs)
+    values = engine.query_pairs(pairs)
     out = sys.stdout if args.output == "-" else open(args.output, "w")
     try:
         out.write("p,q,r_eff\n")
@@ -82,15 +121,19 @@ def cmd_service(args) -> int:
     if not args.pairs and not args.top_k:
         print("nothing to do: pass --pairs and/or --top-k", file=sys.stderr)
         return 1
-    graph = _load_graph(args)
-    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges", file=sys.stderr)
-    kwargs = {}
-    if args.method == "cholinv":
-        kwargs = {"epsilon": args.epsilon, "drop_tol": args.drop_tol,
-                  "ordering": args.ordering, "mode": args.mode}
     t0 = time.perf_counter()
-    service = ResistanceService(graph, method=args.method, **kwargs)
-    print(f"service built in {time.perf_counter() - t0:.2f}s", file=sys.stderr)
+    if args.load_engine:
+        _reject_graph_source_with_load(args)
+        service = ResistanceService.from_saved(args.load_engine)
+        graph = service.graph
+        print(f"engine loaded from {args.load_engine}", file=sys.stderr)
+    else:
+        graph = _load_graph(args)
+        service = ResistanceService(graph, config=_engine_config(args))
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges", file=sys.stderr)
+    print(f"service ready in {time.perf_counter() - t0:.2f}s", file=sys.stderr)
+    if args.save_engine:
+        _save_engine(service.engine, args.save_engine)
 
     if args.pairs:
         pairs = np.asarray(
@@ -219,8 +262,11 @@ def cmd_fig1(args) -> int:
     return 0
 
 
-def _add_graph_engine_arguments(parser, methods) -> None:
+def _add_graph_engine_arguments(parser) -> None:
     """Graph-source and engine options shared by ``er`` and ``service``."""
+    from repro.core.engine import registered_engines
+
+    methods = list(registered_engines())
     parser.add_argument("--edgelist", help="edge-list file (u v [w] per line)")
     parser.add_argument("--mtx", help="MatrixMarket adjacency/Laplacian file")
     parser.add_argument("--generator", help="grid2d:RxC | mesh2d:RxC | ba:N")
@@ -232,6 +278,15 @@ def _add_graph_engine_arguments(parser, methods) -> None:
     parser.add_argument("--mode", default="blocked", choices=["blocked", "reference"],
                         help="Alg. 2 kernel (cholinv only)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sharded", action="store_true",
+                        help="one sub-engine per connected component")
+    parser.add_argument("--lazy-shards", dest="lazy_shards", action="store_true",
+                        help="with --sharded, build each shard on first query")
+    parser.add_argument("--save-engine", dest="save_engine", metavar="PATH",
+                        help="persist the built engine to PATH (.npz)")
+    parser.add_argument("--load-engine", dest="load_engine", metavar="PATH",
+                        help="warm-start from a saved engine instead of building "
+                             "(graph and engine options come from the file)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -242,13 +297,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     er = sub.add_parser("er", help="compute effective resistances")
-    _add_graph_engine_arguments(er, ["cholinv", "exact", "random_projection"])
+    _add_graph_engine_arguments(er)
     er.add_argument("--pairs", nargs="*", help='queries like "12,97" (default: all edges)')
     er.add_argument("--output", default="-", help="CSV path or - for stdout")
     er.set_defaults(func=cmd_er)
 
     sv = sub.add_parser("service", help="serve cached pair/centrality queries")
-    _add_graph_engine_arguments(sv, ["cholinv", "exact"])
+    _add_graph_engine_arguments(sv)
     sv.add_argument("--pairs", nargs="*", help='queries like "12,97"')
     sv.add_argument("--repeat", type=int, default=1,
                     help="repeat the pair batch (exercises the result cache)")
@@ -271,8 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
     red = sub.add_parser("reduce", help="Alg. 1 power-grid reduction")
     red.add_argument("netlist")
     red.add_argument("--output", default="reduced.sp")
+    from repro.core.engine import registered_engines
+
     red.add_argument("--er-method", dest="er_method", default="cholinv",
-                     choices=["cholinv", "exact", "random_projection"])
+                     choices=list(registered_engines()))
     red.add_argument("--merge-fraction", dest="merge_fraction", type=float, default=0.05)
     red.add_argument("--merge-ports", dest="merge_ports", action="store_true",
                      help="allow merging current-source ports (original [8] behaviour)")

@@ -3,8 +3,14 @@
 * :mod:`repro.core.truncation` — the relative 1-norm pruning rule (Eq. 10);
 * :mod:`repro.core.approx_inverse` — Alg. 2, the sparse approximate inverse
   of a Cholesky factor;
+* :mod:`repro.core.engine` — the ``ResistanceEngine`` protocol, typed
+  ``EngineConfig``, and the registry/factory every layer dispatches
+  through;
 * :mod:`repro.core.effective_resistance` — Alg. 3 plus exact effective
   resistances and the high-level query API;
+* :mod:`repro.core.sharded` — the component-sharded composite engine;
+* :mod:`repro.core.persistence` — save/load built Alg. 3 engines (warm
+  starts);
 * :mod:`repro.core.error_bounds` — Theorem 1 / Eq. (25)–(26) machinery and
   the sampled error estimation used in Table I.
 """
@@ -16,18 +22,35 @@ from repro.core.effective_resistance import (
     effective_resistances,
     spanning_edge_centrality,
 )
+from repro.core.engine import (
+    EngineConfig,
+    ResistanceEngine,
+    build_engine,
+    register_engine,
+    registered_engines,
+)
 from repro.core.error_bounds import (
     alpha_coefficient,
     column_error_report,
     estimate_query_errors,
     theorem1_bound,
 )
+from repro.core.persistence import load_engine, save_engine
+from repro.core.sharded import ShardedEngine
 from repro.core.truncation import truncate_relative_1norm
 
 __all__ = [
     "approximate_inverse",
     "ApproxInverseStats",
     "truncate_relative_1norm",
+    "ResistanceEngine",
+    "EngineConfig",
+    "register_engine",
+    "registered_engines",
+    "build_engine",
+    "ShardedEngine",
+    "save_engine",
+    "load_engine",
     "CholInvEffectiveResistance",
     "ExactEffectiveResistance",
     "effective_resistances",

@@ -14,8 +14,11 @@ The public entry points are:
   of edge ``e`` is ``w(e)·R(e)``, the probability that ``e`` appears in a
   random spanning tree.
 
-Both engines share the grounding logic and return ``inf`` for queries that
-span different connected components (the physical answer: no current path).
+Both engines implement the :class:`~repro.core.engine.ResistanceEngine`
+protocol and are registered with the engine registry
+(:mod:`repro.core.engine`), share the grounding logic, and return ``inf``
+for queries that span different connected components (the physical answer:
+no current path).
 """
 
 from __future__ import annotations
@@ -27,6 +30,14 @@ import scipy.sparse.linalg as spla
 from repro.cholesky.depth import filled_graph_depth
 from repro.cholesky.incomplete import ichol
 from repro.core.approx_inverse import ApproxInverseStats, approximate_inverse
+from repro.core.engine import (
+    EngineConfig,
+    ResistanceEngine,
+    as_pair_columns,
+    build_engine,
+    config_from_kwargs,
+    register_engine,
+)
 from repro.graphs.components import connected_components
 from repro.graphs.graph import Graph
 from repro.graphs.laplacian import grounded_laplacian
@@ -36,17 +47,13 @@ from repro.utils.validation import require
 _PAIR_CHUNK = 65536
 _SOLVE_CHUNK = 64
 
-
-def _as_pair_arrays(pairs) -> "tuple[np.ndarray, np.ndarray]":
-    """Normalise a pair list / (m,2) array into two index arrays."""
-    arr = np.asarray(pairs, dtype=np.int64)
-    if arr.ndim == 1 and arr.shape[0] == 2:
-        arr = arr.reshape(1, 2)
-    require(arr.ndim == 2 and arr.shape[1] == 2, "pairs must be an (m, 2) array")
-    return arr[:, 0], arr[:, 1]
+# Back-compat alias: older code (and the baselines) imported the pair
+# normaliser from this module before it moved to repro.core.engine.
+_as_pair_arrays = as_pair_columns
 
 
-class ExactEffectiveResistance:
+@register_engine("exact", params=("ground_value",))
+class ExactEffectiveResistance(ResistanceEngine):
     """Exact effective resistances via one sparse factorisation (Eq. 3).
 
     Parameters
@@ -70,13 +77,9 @@ class ExactEffectiveResistance:
             self._solver = spla.splu(matrix.tocsc())
         self.n = graph.num_nodes
 
-    def query(self, p: int, q: int) -> float:
-        """Effective resistance between nodes ``p`` and ``q``."""
-        return float(self.query_pairs([(p, q)])[0])
-
     def query_pairs(self, pairs) -> np.ndarray:
         """Effective resistances for an ``(m, 2)`` array of node pairs."""
-        ps, qs = _as_pair_arrays(pairs)
+        ps, qs = as_pair_columns(pairs)
         out = np.empty(ps.shape[0])
         with self.timer.section("queries"):
             for start in range(0, ps.shape[0], _SOLVE_CHUNK):
@@ -94,12 +97,13 @@ class ExactEffectiveResistance:
         out[ps == qs] = 0.0
         return out
 
-    def all_edge_resistances(self) -> np.ndarray:
-        """Effective resistance of every edge of the graph."""
-        return self.query_pairs(self.graph.edge_array())
 
-
-class CholInvEffectiveResistance:
+@register_engine(
+    "cholinv",
+    params=("epsilon", "drop_tol", "ordering", "ground_value",
+            "small_column_threshold", "mode"),
+)
+class CholInvEffectiveResistance(ResistanceEngine):
     """Alg. 3 — effective resistances from the approximate inverse factor.
 
     Parameters
@@ -147,8 +151,14 @@ class CholInvEffectiveResistance:
         self.graph = graph
         self.epsilon = epsilon
         self.drop_tol = drop_tol
+        self.ordering = ordering
+        self.small_column_threshold = small_column_threshold
         self.mode = mode
         self.timer = Timer()
+        # keep the caller's setting (None = recompute from the graph) apart
+        # from the resolved value: persistence must round-trip the former so
+        # a warm-started service regrounds on refresh exactly like a cold one
+        self.requested_ground_value = ground_value
         if ground_value is None:
             ground_value = float(graph.weights.mean()) if graph.num_edges else 1.0
         self.ground_value = ground_value
@@ -164,17 +174,71 @@ class CholInvEffectiveResistance:
                 small_column_threshold=small_column_threshold,
                 mode=mode,
             )
-        perm = self.ichol_result.perm
-        self._position = np.empty_like(perm)
-        self._position[perm] = np.arange(perm.shape[0])
+        self.perm = self.ichol_result.perm
+        self._position = np.empty_like(self.perm)
+        self._position[self.perm] = np.arange(self.perm.shape[0])
         squared = self.z_tilde.multiply(self.z_tilde)
         self._column_sq_norms = np.asarray(squared.sum(axis=0)).ravel()
         self.n = graph.num_nodes
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_state(
+        cls,
+        graph: Graph,
+        config: EngineConfig,
+        z_tilde: sp.csc_matrix,
+        perm: np.ndarray,
+        column_sq_norms: np.ndarray,
+        component_labels: np.ndarray,
+        stats: ApproxInverseStats,
+        ground_value: float,
+    ) -> "CholInvEffectiveResistance":
+        """Rehydrate an engine from persisted state, skipping every solve.
+
+        Used by :func:`repro.core.persistence.load_engine`: the restored
+        engine answers queries bit-identically to the one that was saved.
+        The incomplete-Cholesky factor itself is *not* persisted, so
+        :attr:`depths` / :attr:`max_depth` are unavailable on the result.
+        """
+        engine = cls.__new__(cls)
+        engine.graph = graph
+        engine.epsilon = config.epsilon
+        engine.drop_tol = config.drop_tol
+        engine.ordering = config.ordering
+        engine.small_column_threshold = config.small_column_threshold
+        engine.mode = config.mode
+        engine.timer = Timer()
+        engine.requested_ground_value = config.ground_value
+        engine.ground_value = ground_value
+        engine.component_labels = component_labels
+        engine.ground_nodes = None
+        engine.ichol_result = None
+        engine.z_tilde = z_tilde
+        engine.stats = stats
+        engine.perm = perm
+        engine._position = np.empty_like(perm)
+        engine._position[perm] = np.arange(perm.shape[0])
+        engine._column_sq_norms = column_sq_norms
+        engine.n = graph.num_nodes
+        engine.config = config
+        return engine
+
+    def save(self, path):
+        """Serialise ``Z̃``, permutation, norms, labels and config to .npz."""
+        from repro.core.persistence import save_engine
+
+        return save_engine(self, path)
+
+    # ------------------------------------------------------------------
     @property
     def depths(self) -> np.ndarray:
         """Filled-graph depth (Eq. 11) of every permuted node."""
+        require(
+            self.ichol_result is not None,
+            "depth statistics need the Cholesky factor, which is not "
+            "persisted — unavailable on an engine restored from disk",
+        )
         return filled_graph_depth(self.ichol_result.lower)
 
     @property
@@ -184,10 +248,6 @@ class CholInvEffectiveResistance:
         return int(depths.max()) if depths.size else 0
 
     # ------------------------------------------------------------------
-    def query(self, p: int, q: int) -> float:
-        """Approximate effective resistance between ``p`` and ``q``."""
-        return float(self.query_pairs([(p, q)])[0])
-
     def query_pairs(self, pairs) -> np.ndarray:
         """Approximate effective resistances for ``(m, 2)`` node pairs.
 
@@ -195,7 +255,7 @@ class CholInvEffectiveResistance:
         chunks; the cross terms come from an element-wise product of column
         slices, so the cost is linear in the touched nonzeros.
         """
-        ps, qs = _as_pair_arrays(pairs)
+        ps, qs = as_pair_columns(pairs)
         cols_p = self._position[ps]
         cols_q = self._position[qs]
         out = np.empty(ps.shape[0])
@@ -220,18 +280,15 @@ class CholInvEffectiveResistance:
         out[ps == qs] = 0.0
         return out
 
-    def all_edge_resistances(self) -> np.ndarray:
-        """Approximate effective resistance of every edge (``Q_r = E``)."""
-        return self.query_pairs(self.graph.edge_array())
-
 
 def effective_resistances(
     graph: Graph,
     pairs=None,
     method: str = "cholinv",
+    config: "EngineConfig | None" = None,
     **kwargs,
 ) -> np.ndarray:
-    """One-shot convenience API.
+    """One-shot convenience API (dispatches through the engine registry).
 
     Parameters
     ----------
@@ -240,23 +297,26 @@ def effective_resistances(
     pairs:
         ``(m, 2)`` query pairs; default: every edge of the graph.
     method:
-        ``"cholinv"`` (Alg. 3, default), ``"exact"`` (direct solves) or
-        ``"random_projection"`` (the WWW'15 baseline, see
-        :mod:`repro.baselines.random_projection`).
+        Any registered engine name — ``"cholinv"`` (Alg. 3, default),
+        ``"exact"``, ``"random_projection"`` or ``"naive"``; see
+        :func:`repro.core.engine.registered_engines`.
+    config:
+        Full :class:`~repro.core.engine.EngineConfig`; overrides
+        ``method``/``kwargs`` when given.
     kwargs:
-        Forwarded to the chosen engine's constructor.
+        Legacy engine parameters, folded into an ``EngineConfig``.
     """
     if pairs is None:
         pairs = graph.edge_array()
-    if method == "cholinv":
-        return CholInvEffectiveResistance(graph, **kwargs).query_pairs(pairs)
-    if method == "exact":
-        return ExactEffectiveResistance(graph, **kwargs).query_pairs(pairs)
-    if method == "random_projection":
-        from repro.baselines.random_projection import RandomProjectionEffectiveResistance
-
-        return RandomProjectionEffectiveResistance(graph, **kwargs).query_pairs(pairs)
-    raise ValueError(f"unknown method {method!r}")
+    if config is None:
+        config = config_from_kwargs(method, **kwargs)
+    elif kwargs:
+        raise ValueError("pass config or engine kwargs, not both")
+    elif method != "cholinv" and method != config.method:
+        raise ValueError(
+            f"method {method!r} conflicts with config.method {config.method!r}"
+        )
+    return build_engine(graph, config).query_pairs(pairs)
 
 
 def spanning_edge_centrality(
@@ -283,7 +343,7 @@ def dense_pinv_resistance(graph: Graph, pairs) -> np.ndarray:
 
     lap = laplacian(graph).toarray()
     pinv = np.linalg.pinv(lap)
-    ps, qs = _as_pair_arrays(pairs)
+    ps, qs = as_pair_columns(pairs)
     diffs = pinv[ps, ps] + pinv[qs, qs] - pinv[ps, qs] - pinv[qs, ps]
     labels, _ = connected_components(graph)
     diffs = np.asarray(diffs, dtype=np.float64)

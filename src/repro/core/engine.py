@@ -1,0 +1,284 @@
+"""The ``ResistanceEngine`` protocol, engine registry and configuration.
+
+Every effective-resistance solver in the repository — the paper's Alg. 3
+(:class:`~repro.core.effective_resistance.CholInvEffectiveResistance`), the
+exact direct-factorisation engine, the WWW'15 random-projection baseline,
+the naive per-query strawman and the component-sharded composite — speaks
+the same small interface defined here:
+
+``query(p, q)``
+    effective resistance between two nodes (``inf`` across components);
+``query_pairs(pairs)``
+    vectorised batch of ``(m, 2)`` queries (an empty batch returns an
+    empty float array);
+``all_edge_resistances()``
+    ``query_pairs`` over every edge of the served graph;
+``n`` / ``component_labels`` / ``timer`` / ``graph``
+    the served node count, connected-component labels, stage timings and
+    the graph itself.
+
+Engines register under a short name with :func:`register_engine`, declaring
+which :class:`EngineConfig` fields they consume; :func:`build_engine` is the
+single dispatch point the convenience API
+(:func:`~repro.core.effective_resistance.effective_resistances`), the
+serving layer (:class:`~repro.service.ResistanceService`), the reduction
+pipeline, the bench harness and the CLI all go through.  ``EngineConfig``
+replaces the untyped kwargs soup those layers used to forward blindly: one
+frozen dataclass carries every tunable, each engine picks out its own
+fields, and the whole thing serialises to/from a plain dict for engine
+persistence (:mod:`repro.core.persistence`).
+
+Example
+-------
+>>> from repro.core.engine import EngineConfig, build_engine
+>>> from repro.graphs.generators import grid_2d
+>>> engine = build_engine(grid_2d(8, 8), EngineConfig(epsilon=1e-4))
+>>> engine.query(0, 63) > 0
+True
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.timing import Timer
+from repro.utils.validation import require
+
+
+def as_pair_array(pairs) -> np.ndarray:
+    """Normalise a pair list / tuple / array into an ``(m, 2)`` int array.
+
+    Empty inputs (``[]``, ``np.empty((0, 2))``, …) normalise to a
+    ``(0, 2)`` array so batch code paths degrade to empty results instead
+    of raising.
+    """
+    arr = np.asarray(pairs, dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if arr.ndim == 1 and arr.shape[0] == 2:
+        arr = arr.reshape(1, 2)
+    require(arr.ndim == 2 and arr.shape[1] == 2, "pairs must be an (m, 2) array")
+    return arr
+
+
+def as_pair_columns(pairs) -> "tuple[np.ndarray, np.ndarray]":
+    """:func:`as_pair_array` split into ``(ps, qs)`` index arrays."""
+    arr = as_pair_array(pairs)
+    return arr[:, 0], arr[:, 1]
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineConfig:
+    """Typed, frozen bundle of every engine tunable.
+
+    One config type serves all engines: each registered engine declares the
+    subset of fields it consumes (see :func:`register_engine`) and the
+    factory forwards exactly those, so e.g. ``epsilon`` is simply inactive
+    when ``method="exact"``.  Defaults match the individual engine
+    constructors (which in turn follow the paper).
+
+    Fields
+    ------
+    method:
+        Registered engine name — ``"cholinv"`` (Alg. 3, default),
+        ``"exact"``, ``"random_projection"`` or ``"naive"``.
+    epsilon, drop_tol, ordering, mode, small_column_threshold:
+        Alg. 3 knobs (see
+        :class:`~repro.core.effective_resistance.CholInvEffectiveResistance`).
+    ground_value:
+        Grounding conductance used by every engine (default: mean edge
+        weight of the served graph).
+    num_projections, c_jl, solver, pcg_rtol:
+        WWW'15 random-projection knobs.
+    rtol:
+        Per-query solve tolerance of the naive engine.
+    seed:
+        RNG seed for randomised engines.
+    sharded:
+        Build one sub-engine per connected component
+        (:class:`~repro.core.sharded.ShardedEngine`) instead of factoring
+        the whole graph at once.
+    lazy_shards:
+        With ``sharded``, defer each shard's build to its first query.
+    """
+
+    method: str = "cholinv"
+    epsilon: float = 1e-3
+    drop_tol: float = 1e-3
+    ordering: str = "amd"
+    mode: str = "blocked"
+    small_column_threshold: "float | None" = None
+    ground_value: "float | None" = None
+    num_projections: "int | None" = None
+    c_jl: float = 100.0
+    solver: str = "pcg"
+    pcg_rtol: float = 1e-6
+    rtol: float = 1e-10
+    seed: "int | None" = None
+    sharded: bool = False
+    lazy_shards: bool = False
+
+    def replace(self, **changes) -> "EngineConfig":
+        """Copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-friendly) for persistence."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so configs
+        saved by newer versions still load."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def config_from_kwargs(method: str = "cholinv", **kwargs) -> EngineConfig:
+    """Build an :class:`EngineConfig` from legacy ``method=`` + kwargs calls.
+
+    This is the shim that keeps every pre-registry call signature working:
+    unknown parameter names raise a ``ValueError`` listing the valid ones.
+    """
+    valid = {f.name for f in dataclasses.fields(EngineConfig)} - {"method"}
+    unknown = sorted(set(kwargs) - valid)
+    if unknown:
+        raise ValueError(
+            f"unknown engine parameter(s) {unknown}; valid: {sorted(valid)}"
+        )
+    return EngineConfig(method=method, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# the protocol
+# ----------------------------------------------------------------------
+class ResistanceEngine(abc.ABC):
+    """Abstract base class every effective-resistance engine implements.
+
+    Subclasses must set ``graph``, ``n``, ``component_labels`` and
+    ``timer`` during construction and implement :meth:`query_pairs`; the
+    scalar :meth:`query` and :meth:`all_edge_resistances` have default
+    implementations on top of it.  ``config`` is attached by
+    :func:`build_engine` (``None`` on engines constructed directly).
+    """
+
+    graph: Graph
+    n: int
+    component_labels: np.ndarray
+    timer: Timer
+    config: "EngineConfig | None" = None
+
+    @abc.abstractmethod
+    def query_pairs(self, pairs) -> np.ndarray:
+        """Effective resistances for an ``(m, 2)`` array of node pairs."""
+
+    def query(self, p: int, q: int) -> float:
+        """Effective resistance between nodes ``p`` and ``q``."""
+        return float(self.query_pairs([(int(p), int(q))])[0])
+
+    def all_edge_resistances(self) -> np.ndarray:
+        """Effective resistance of every edge of the served graph."""
+        return self.query_pairs(self.graph.edge_array())
+
+    def save(self, path):
+        """Serialise the built engine to ``path`` (``.npz``).
+
+        Only engines whose state is plain arrays support this — currently
+        the Alg. 3 engine; see :mod:`repro.core.persistence`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support persistence; only the "
+            f'"cholinv" (Alg. 3) engine serialises its factor to disk'
+        )
+
+
+# ----------------------------------------------------------------------
+# registry + factory
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _EngineSpec:
+    cls: type
+    params: "tuple[str, ...]"
+
+
+_REGISTRY: "dict[str, _EngineSpec]" = {}
+_registered_builtins = False
+
+
+def register_engine(name: str, *, params: "tuple[str, ...]" = ()):
+    """Class decorator registering an engine under ``name``.
+
+    ``params`` names the :class:`EngineConfig` fields the engine's
+    constructor accepts (beyond the graph); :func:`build_engine` forwards
+    exactly those.  Re-registering a name overwrites it, so downstream
+    code can swap in experimental engines.
+    """
+    config_fields = {f.name for f in dataclasses.fields(EngineConfig)}
+    bad = sorted(set(params) - config_fields)
+    require(not bad, f"params {bad} are not EngineConfig fields")
+
+    def decorate(cls):
+        _REGISTRY[name] = _EngineSpec(cls, tuple(params))
+        cls.engine_name = name
+        return cls
+
+    return decorate
+
+
+def _ensure_builtins_registered() -> None:
+    """Import the modules whose classes self-register (idempotent)."""
+    global _registered_builtins
+    if _registered_builtins:
+        return
+    import repro.baselines.naive  # noqa: F401
+    import repro.baselines.random_projection  # noqa: F401
+    import repro.core.effective_resistance  # noqa: F401
+
+    _registered_builtins = True
+
+
+def registered_engines() -> "tuple[str, ...]":
+    """Sorted names of every registered engine."""
+    _ensure_builtins_registered()
+    return tuple(sorted(_REGISTRY))
+
+
+def build_engine(
+    graph: Graph,
+    config: "EngineConfig | str | None" = None,
+    **kwargs,
+) -> ResistanceEngine:
+    """Build the engine a config describes — the registry's single factory.
+
+    ``config`` may be a full :class:`EngineConfig`, a bare method name
+    (kwargs then fill the remaining fields), or ``None`` (pure kwargs /
+    all defaults).  ``config.sharded`` wraps the chosen method in a
+    :class:`~repro.core.sharded.ShardedEngine`.
+    """
+    if config is None or isinstance(config, str):
+        config = config_from_kwargs(config or "cholinv", **kwargs)
+    elif kwargs:
+        raise ValueError("pass an EngineConfig or keyword parameters, not both")
+    _ensure_builtins_registered()
+    spec = _REGISTRY.get(config.method)
+    if spec is None:
+        raise ValueError(
+            f"unknown method {config.method!r}; registered engines: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        )
+    if config.sharded:
+        from repro.core.sharded import ShardedEngine
+
+        engine: ResistanceEngine = ShardedEngine(graph, config)
+    else:
+        engine = spec.cls(graph, **{p: getattr(config, p) for p in spec.params})
+    engine.config = config
+    return engine

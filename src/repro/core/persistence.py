@@ -1,0 +1,151 @@
+"""Engine persistence — save a built Alg. 3 engine, warm-start from disk.
+
+Building a ``cholinv`` engine is the expensive part of serving effective
+resistances (incomplete Cholesky + Alg. 2); the queries themselves only
+need the approximate inverse ``Z̃`` and a few index arrays.  This module
+serialises exactly that state to a single ``.npz`` so service workers can
+warm-start without refactoring (ROADMAP: "persist/serialize built
+engines"):
+
+* ``Z̃`` in CSC form (``data`` / ``indices`` / ``indptr`` / shape);
+* the fill-reducing permutation and the cached column square norms
+  (restoring both makes :meth:`query_pairs` *bit-identical* to the saved
+  engine — nothing is recomputed);
+* the connected-component labels (cross-component queries answer ``inf``
+  without any factor);
+* the served graph's edge arrays (so ``all_edge_resistances`` and service
+  refreshes work on the restored engine);
+* the :class:`~repro.core.engine.EngineConfig` as JSON (so a refresh after
+  a graph edit rebuilds with the saved settings).
+
+Entry points: :func:`save_engine` / :func:`load_engine`, surfaced as
+``engine.save(path)``, ``ResistanceService.from_saved(path)`` and the CLI's
+``--save-engine`` / ``--load-engine`` options.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.approx_inverse import ApproxInverseStats
+from repro.core.engine import EngineConfig
+from repro.graphs.graph import Graph
+from repro.utils.validation import require
+
+FORMAT_VERSION = 1
+
+
+def _npz_path(path: "str | Path") -> Path:
+    """``np.savez`` appends ``.npz`` silently; make that explicit."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def save_engine(engine, path: "str | Path") -> Path:
+    """Serialise a built ``cholinv`` engine to ``path`` (returns the path).
+
+    Only :class:`~repro.core.effective_resistance.CholInvEffectiveResistance`
+    persists: its post-build state is plain arrays.  The ``exact`` and
+    ``random_projection`` engines hold live factorisation objects (SuperLU)
+    that cannot be serialised portably — rebuild those instead.
+    """
+    from repro.core.effective_resistance import CholInvEffectiveResistance
+
+    if not isinstance(engine, CholInvEffectiveResistance):
+        raise NotImplementedError(
+            f"{type(engine).__name__} does not support persistence; only the "
+            f'"cholinv" (Alg. 3) engine serialises its factor to disk'
+        )
+    # the config carries the *requested* ground value (None = recompute
+    # from the graph) so a refresh after warm-start regrounds exactly like
+    # a cold service would; the resolved value is stored separately below
+    requested = engine.requested_ground_value
+    config = EngineConfig(
+        method="cholinv",
+        epsilon=engine.epsilon,
+        drop_tol=engine.drop_tol,
+        ordering=engine.ordering,
+        mode=engine.mode,
+        small_column_threshold=engine.small_column_threshold,
+        ground_value=None if requested is None else float(requested),
+    )
+    z = engine.z_tilde.tocsc()
+    path = _npz_path(path)
+    np.savez(
+        path,
+        format_version=np.int64(FORMAT_VERSION),
+        config_json=np.asarray(json.dumps(config.to_dict())),
+        num_nodes=np.int64(engine.graph.num_nodes),
+        graph_heads=engine.graph.heads,
+        graph_tails=engine.graph.tails,
+        graph_weights=engine.graph.weights,
+        z_data=z.data,
+        z_indices=z.indices,
+        z_indptr=z.indptr,
+        z_shape=np.asarray(z.shape, dtype=np.int64),
+        ground_value=np.float64(engine.ground_value),
+        perm=engine.perm,
+        column_sq_norms=engine._column_sq_norms,
+        component_labels=engine.component_labels,
+        stats_nnz=np.int64(engine.stats.nnz),
+        stats_n=np.int64(engine.stats.n),
+        stats_columns_truncated=np.int64(engine.stats.columns_truncated),
+        stats_columns_kept_whole=np.int64(engine.stats.columns_kept_whole),
+    )
+    return path
+
+
+def load_engine(path: "str | Path"):
+    """Rehydrate an engine saved by :func:`save_engine`.
+
+    The returned engine is a real
+    :class:`~repro.core.effective_resistance.CholInvEffectiveResistance`
+    whose ``query_pairs`` output is bit-identical to the saved one; its
+    ``config`` attribute carries the settings it was built with so
+    :class:`~repro.service.ResistanceService` can refresh it after graph
+    edits.
+    """
+    from repro.core.effective_resistance import CholInvEffectiveResistance
+
+    path = _npz_path(path)
+    require(path.exists(), f"no saved engine at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        require(
+            version <= FORMAT_VERSION,
+            f"saved engine format v{version} is newer than supported "
+            f"v{FORMAT_VERSION}",
+        )
+        config = EngineConfig.from_dict(json.loads(str(data["config_json"])))
+        graph = Graph(
+            int(data["num_nodes"]),
+            data["graph_heads"],
+            data["graph_tails"],
+            data["graph_weights"],
+        )
+        z_tilde = sp.csc_matrix(
+            (data["z_data"], data["z_indices"], data["z_indptr"]),
+            shape=tuple(int(s) for s in data["z_shape"]),
+        )
+        stats = ApproxInverseStats(
+            nnz=int(data["stats_nnz"]),
+            n=int(data["stats_n"]),
+            columns_truncated=int(data["stats_columns_truncated"]),
+            columns_kept_whole=int(data["stats_columns_kept_whole"]),
+        )
+        return CholInvEffectiveResistance.from_state(
+            graph=graph,
+            config=config,
+            z_tilde=z_tilde,
+            perm=data["perm"],
+            column_sq_norms=data["column_sq_norms"],
+            component_labels=data["component_labels"],
+            stats=stats,
+            ground_value=float(data["ground_value"]),
+        )

@@ -1,0 +1,134 @@
+"""Component-sharded composite engine.
+
+Effective resistance never crosses a connected component (the physical
+answer is ``inf`` — no current path), so a multi-component graph can be
+served by one independent sub-engine per component.  That is strictly
+cheaper than factoring the whole grounded Laplacian at once: each shard
+factors a smaller matrix with its own fill-reducing ordering, singleton
+components never build anything, and cross-component queries are answered
+from the component labels without touching any factor.  Shards are also
+the natural unit of future parallelism and distribution (ROADMAP:
+"shard ``ResistanceService`` across subgraphs/components").
+
+``ShardedEngine`` wraps any registered base engine: the wrapped method and
+its tunables come from the same :class:`~repro.core.engine.EngineConfig`
+the factory uses (``config.sharded`` is what routes ``build_engine`` here).
+With ``lazy_shards=True`` each sub-engine is built on the first query that
+lands in its shard, so a service warm-starts instantly and only pays for
+the components traffic actually touches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import (
+    EngineConfig,
+    ResistanceEngine,
+    as_pair_columns,
+    build_engine,
+)
+from repro.graphs.components import connected_components
+from repro.graphs.graph import Graph
+from repro.utils.timing import Timer
+
+
+class ShardedEngine(ResistanceEngine):
+    """One sub-engine per connected component behind the engine protocol.
+
+    Parameters
+    ----------
+    graph:
+        Weighted undirected graph (any number of components).
+    config:
+        Config of the *base* engine each shard builds (``method`` plus its
+        tunables).  ``config.lazy_shards`` defers shard builds to first
+        use; ``config.sharded`` itself is ignored here (this class *is*
+        the sharding).
+    lazy:
+        Overrides ``config.lazy_shards`` when given.
+
+    Notes
+    -----
+    Queries are grouped by component and translated through global↔local
+    id maps, so a mixed batch costs one sub-engine call per touched shard.
+    Components of size one never build an engine: every query they can
+    answer is ``0.0`` (self pair) or ``inf`` (cross-component).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: "EngineConfig | str | None" = None,
+        lazy: "bool | None" = None,
+    ):
+        if config is None:
+            config = EngineConfig()
+        elif isinstance(config, str):
+            config = EngineConfig(method=config)
+        self.graph = graph
+        self.n = graph.num_nodes
+        self.timer = Timer()
+        self.config = config if config.sharded else config.replace(sharded=True)
+        self._shard_config = config.replace(sharded=False, lazy_shards=False)
+        self.lazy = bool(config.lazy_shards if lazy is None else lazy)
+
+        with self.timer.section("components"):
+            self.component_labels, self.num_shards = connected_components(graph)
+            order = np.argsort(self.component_labels, kind="stable")
+            counts = np.bincount(self.component_labels, minlength=self.num_shards)
+            starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+            # global node id -> rank within its component
+            self._local = np.empty(self.n, dtype=np.int64)
+            self._local[order] = np.arange(self.n) - np.repeat(starts, counts)
+            # members of shard c, in local-rank order
+            self._members = np.split(order, np.cumsum(counts)[:-1])
+        self._engines: "list[ResistanceEngine | None]" = [None] * self.num_shards
+        if not self.lazy:
+            for c in range(self.num_shards):
+                if counts[c] > 1:
+                    self._shard(c)
+
+    # ------------------------------------------------------------------
+    @property
+    def shards_built(self) -> int:
+        """How many sub-engines exist right now (grows lazily)."""
+        return sum(engine is not None for engine in self._engines)
+
+    def shard_sizes(self) -> np.ndarray:
+        """Node count of every shard."""
+        return np.bincount(self.component_labels, minlength=self.num_shards)
+
+    def _shard(self, c: int) -> ResistanceEngine:
+        if self._engines[c] is None:
+            with self.timer.section("shard_build"):
+                sub, _ = self.graph.subgraph(self._members[c])
+                self._engines[c] = build_engine(sub, self._shard_config)
+        return self._engines[c]
+
+    # ------------------------------------------------------------------
+    def query_pairs(self, pairs) -> np.ndarray:
+        """Batch queries routed shard-by-shard; cross-component → ``inf``.
+
+        Pairs are grouped by component with one argsort (O(m log m) for
+        the whole batch, however many shards it touches), then each
+        touched shard answers its group in a single sub-engine call.
+        """
+        ps, qs = as_pair_columns(pairs)
+        out = np.full(ps.shape[0], np.inf)
+        labels = self.component_labels
+        active = np.flatnonzero((labels[ps] == labels[qs]) & (ps != qs))
+        with self.timer.section("queries"):
+            if active.size:
+                components = labels[ps[active]]
+                order = np.argsort(components, kind="stable")
+                grouped = active[order]
+                boundaries = np.flatnonzero(np.diff(components[order])) + 1
+                for group in np.split(grouped, boundaries):
+                    local = np.column_stack(
+                        [self._local[ps[group]], self._local[qs[group]]]
+                    )
+                    shard = self._shard(int(labels[ps[group[0]]]))
+                    out[group] = shard.query_pairs(local)
+        out[ps == qs] = 0.0
+        return out

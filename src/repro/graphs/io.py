@@ -17,8 +17,30 @@ import scipy.sparse as sp
 from repro.graphs.graph import Graph
 
 
+def _declared_node_count(comment: str) -> "int | None":
+    """Extract a node count from a ``#`` comment line, if one is declared.
+
+    Accepts both this library's header (``# nodes 10 edges 2``) and the
+    SNAP convention (``# Nodes: 317080 Edges: 1049866``).  Malformed
+    headers are ignored rather than raised on — comments are free text.
+    """
+    tokens = comment.split()
+    for token, value in zip(tokens, tokens[1:]):
+        if token.lower().rstrip(":") == "nodes":
+            try:
+                return int(value)
+            except ValueError:
+                return None
+    return None
+
+
 def write_edgelist(graph: Graph, path: "str | Path", write_weights: bool = True) -> None:
-    """Write ``u v [w]`` lines, one edge per line."""
+    """Write ``u v [w]`` lines, one edge per line.
+
+    A ``# nodes <n> edges <m>`` header records the exact node count so
+    :func:`read_edgelist` round-trips graphs with trailing isolated nodes
+    (which no edge line can witness).
+    """
     path = Path(path)
     with path.open("w") as handle:
         handle.write(f"# nodes {graph.num_nodes} edges {graph.num_edges}\n")
@@ -32,8 +54,13 @@ def write_edgelist(graph: Graph, path: "str | Path", write_weights: bool = True)
 def read_edgelist(path: "str | Path", num_nodes: "int | None" = None) -> Graph:
     """Read a SNAP-style edge list (``#`` comments, 2 or 3 columns).
 
-    Node ids need not be contiguous; they are compacted to ``0..n-1``
-    preserving numeric order.  Self loops are dropped (SNAP files contain
+    The node count comes from, in order of precedence: the ``num_nodes``
+    argument, a ``# nodes <n>`` / ``# Nodes: <n>`` header, or inference
+    from the ids present.  With a declared count, in-range ids are kept
+    verbatim (so isolated nodes — including trailing ones no edge
+    witnesses — survive the round trip through :func:`write_edgelist`);
+    without one, ids are compacted to ``0..n-1`` preserving numeric order
+    (SNAP ids are arbitrary).  Self loops are dropped (SNAP files contain
     them occasionally and they are meaningless for effective resistance).
     """
     path = Path(path)
@@ -45,9 +72,8 @@ def read_edgelist(path: "str | Path", num_nodes: "int | None" = None) -> Graph:
             if not line:
                 continue
             if line.startswith("#"):
-                tokens = line.split()
-                if "nodes" in tokens:
-                    declared_nodes = declared_nodes or int(tokens[tokens.index("nodes") + 1])
+                if declared_nodes is None:
+                    declared_nodes = _declared_node_count(line)
                 continue
             parts = line.split()
             u, v = int(parts[0]), int(parts[1])

@@ -27,11 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.effective_resistance import (
-    CholInvEffectiveResistance,
-    ExactEffectiveResistance,
-)
-from repro.baselines.random_projection import RandomProjectionEffectiveResistance
+from repro.core.engine import build_engine, config_from_kwargs, registered_engines
 from repro.graphs.graph import Graph
 from repro.graphs.laplacian import laplacian
 from repro.partition.interface import NodeRole, classify_nodes, partition_graph
@@ -51,8 +47,8 @@ class ReductionConfig:
     Attributes
     ----------
     er_method:
-        ``"exact"`` | ``"random_projection"`` | ``"cholinv"`` — the three
-        scenarios of Table II.
+        Any registered engine name — ``"exact"``, ``"random_projection"``
+        and ``"cholinv"`` are the three scenarios of Table II.
     er_kwargs:
         Extra keyword arguments for the chosen estimator (e.g. ``epsilon``,
         ``drop_tol`` for cholinv; ``num_projections`` for the baseline).
@@ -89,7 +85,7 @@ class ReductionConfig:
 
     def __post_init__(self):
         require(
-            self.er_method in ("exact", "random_projection", "cholinv"),
+            self.er_method in registered_engines(),
             f"unknown er_method {self.er_method!r}",
         )
 
@@ -197,19 +193,14 @@ class PGReducer:
 
     def _edge_resistances(self, graph: Graph, timer: Timer) -> np.ndarray:
         """Dispatch to the configured effective-resistance backend."""
-        method = self.config.er_method
         kwargs = dict(self.config.er_kwargs)
+        # randomised engines share the pipeline RNG; EngineConfig defaults
+        # already match the paper settings (epsilon/drop_tol 1e-3, amd)
+        kwargs.setdefault("seed", self.rng)
         with timer.section("effective_resistance"):
-            if method == "exact":
-                estimator = ExactEffectiveResistance(graph, **kwargs)
-            elif method == "cholinv":
-                kwargs.setdefault("epsilon", 1e-3)
-                kwargs.setdefault("drop_tol", 1e-3)
-                kwargs.setdefault("ordering", "amd")
-                estimator = CholInvEffectiveResistance(graph, **kwargs)
-            else:
-                kwargs.setdefault("seed", self.rng)
-                estimator = RandomProjectionEffectiveResistance(graph, **kwargs)
+            estimator = build_engine(
+                graph, config_from_kwargs(self.config.er_method, **kwargs)
+            )
             return estimator.all_edge_resistances()
 
     def reduce_block(self, block_id: int) -> BlockReduction:

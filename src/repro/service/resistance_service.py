@@ -16,10 +16,14 @@ without a caller-visible rebuild dance.  ``ResistanceService`` provides:
   (same configuration), invalidate every cache, and report timings; used by
   the incremental design flow in :mod:`repro.apps.incremental`.
 
-The service is deliberately engine-agnostic: ``method="cholinv"`` (default)
-uses the paper's Alg. 3 with the blocked Alg. 2 kernel, ``method="exact"``
-the direct factorisation engine — the regression suite runs the same
-behavioural checks across both.
+The service is deliberately engine-agnostic: it dispatches through the
+engine registry (:mod:`repro.core.engine`), so any registered engine —
+``"cholinv"`` (default), ``"exact"``, the baselines, or a component-sharded
+composite (``EngineConfig(sharded=True)``) — can serve traffic, and the
+regression suite runs the same behavioural checks across engines.  Built
+``cholinv`` engines persist to disk (:mod:`repro.core.persistence`);
+:meth:`ResistanceService.from_saved` warm-starts a worker from such a file
+without refactoring.
 """
 
 from __future__ import annotations
@@ -30,14 +34,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.effective_resistance import (
-    CholInvEffectiveResistance,
-    ExactEffectiveResistance,
+from repro.core.effective_resistance import CholInvEffectiveResistance
+from repro.core.engine import (
+    EngineConfig,
+    as_pair_array,
+    build_engine,
+    config_from_kwargs,
 )
 from repro.graphs.graph import Graph
 from repro.utils.validation import require
-
-_METHODS = ("cholinv", "exact")
 
 
 @dataclass
@@ -103,15 +108,19 @@ class ResistanceService:
     graph:
         Weighted undirected graph to serve queries on.
     method:
-        ``"cholinv"`` (Alg. 3, default) or ``"exact"``.
+        Any registered engine name (``"cholinv"``, Alg. 3, is the
+        default); see :func:`repro.core.engine.registered_engines`.
     result_cache_size:
         Maximum cached pair results (LRU, default 65536).
     column_cache_size:
         Maximum cached hot ``Z̃`` columns (LRU, default 4096; only used by
         the ``cholinv`` engine).
+    config:
+        Full :class:`~repro.core.engine.EngineConfig`; overrides
+        ``method``/``engine_kwargs`` when given.
     engine_kwargs:
-        Forwarded to the engine constructor on every (re)build — e.g.
-        ``epsilon``, ``drop_tol``, ``ordering``, ``mode`` for ``cholinv``.
+        Legacy engine parameters (``epsilon``, ``drop_tol``, …), folded
+        into an ``EngineConfig`` and used on every (re)build.
     """
 
     def __init__(
@@ -120,29 +129,69 @@ class ResistanceService:
         method: str = "cholinv",
         result_cache_size: int = 65536,
         column_cache_size: int = 4096,
+        config: "EngineConfig | None" = None,
         **engine_kwargs,
     ):
-        if method not in _METHODS:
-            raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+        if config is None:
+            config = config_from_kwargs(method, **engine_kwargs)
+        elif engine_kwargs:
+            raise ValueError("pass config or engine kwargs, not both")
+        elif method != "cholinv" and method != config.method:
+            raise ValueError(
+                f"method {method!r} conflicts with config.method "
+                f"{config.method!r}"
+            )
+        self._init_state(config, result_cache_size, column_cache_size)
+        self._build(graph)
+
+    def _init_state(
+        self,
+        config: EngineConfig,
+        result_cache_size: int,
+        column_cache_size: int,
+    ) -> None:
         require(result_cache_size >= 0, "result_cache_size must be >= 0")
         require(column_cache_size >= 0, "column_cache_size must be >= 0")
-        self.method = method
-        self.engine_kwargs = dict(engine_kwargs)
+        self.config = config
         self.stats = ServiceStats()
         self._results = _LRU(result_cache_size)
         self._columns = _LRU(column_cache_size)
         self._edge_resistances: "np.ndarray | None" = None
-        self._build(graph)
+
+    @property
+    def method(self) -> str:
+        """Name of the served engine (back-compat accessor)."""
+        return self.config.method
+
+    @classmethod
+    def from_saved(
+        cls,
+        path,
+        result_cache_size: int = 65536,
+        column_cache_size: int = 4096,
+    ) -> "ResistanceService":
+        """Warm-start a service from an engine persisted with ``save()``.
+
+        The expensive build is skipped entirely: the engine state (``Z̃``,
+        permutation, norms, labels, graph, config) comes off disk, and
+        later :meth:`refresh_after_edge_update` calls rebuild with the
+        saved configuration.
+        """
+        from repro.core.persistence import load_engine
+
+        engine = load_engine(path)
+        service = cls.__new__(cls)
+        service._init_state(engine.config, result_cache_size, column_cache_size)
+        service.engine = engine
+        service.graph = engine.graph
+        return service
 
     # ------------------------------------------------------------------
     # construction / refresh
     # ------------------------------------------------------------------
     def _build(self, graph: Graph) -> float:
         start = time.perf_counter()
-        if self.method == "cholinv":
-            self.engine = CholInvEffectiveResistance(graph, **self.engine_kwargs)
-        else:
-            self.engine = ExactEffectiveResistance(graph, **self.engine_kwargs)
+        self.engine = build_engine(graph, self.config)
         self.graph = graph
         return time.perf_counter() - start
 
@@ -165,7 +214,12 @@ class ResistanceService:
             new_weights = (
                 np.ones(edges.shape[0])
                 if weights is None
-                else np.asarray(weights, dtype=np.float64)
+                else np.asarray(weights, dtype=np.float64).ravel()
+            )
+            require(
+                new_weights.shape[0] == edges.shape[0],
+                f"weights length {new_weights.shape[0]} does not match "
+                f"{edges.shape[0]} edges",
             )
             graph = Graph(
                 self.graph.num_nodes,
@@ -216,11 +270,10 @@ class ResistanceService:
         Cached pairs are answered from the LRU; all misses go to the engine
         in one vectorised call (deduplicated first).
         """
-        arr = np.asarray(pairs, dtype=np.int64)
-        if arr.ndim == 1 and arr.shape[0] == 2:
-            arr = arr.reshape(1, 2)
-        require(arr.ndim == 2 and arr.shape[1] == 2, "pairs must be an (m, 2) array")
+        arr = as_pair_array(pairs)
         m = arr.shape[0]
+        if m == 0:
+            return np.empty(0)
         self.stats.queries += m
         lo = np.minimum(arr[:, 0], arr[:, 1])
         hi = np.maximum(arr[:, 0], arr[:, 1])

@@ -55,6 +55,43 @@ class TestER:
         with pytest.raises(SystemExit):
             main(["er", "--generator", "torus:3"])
 
+    def test_save_and_load_engine_round_trip(self, tmp_path, capsys):
+        engine_path = tmp_path / "engine.npz"
+        main(["er", "--generator", "grid2d:6x6", "--pairs", "0,35",
+              "--save-engine", str(engine_path)])
+        built = capsys.readouterr().out.splitlines()[1]
+        assert engine_path.exists()
+        code = main(["er", "--load-engine", str(engine_path), "--pairs", "0,35"])
+        assert code == 0
+        loaded = capsys.readouterr().out.splitlines()[1]
+        assert loaded == built
+
+    def test_load_engine_rejects_graph_source(self, tmp_path, capsys):
+        engine_path = tmp_path / "e.npz"
+        main(["er", "--generator", "grid2d:4x4", "--pairs", "0,1",
+              "--save-engine", str(engine_path)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="load-engine"):
+            main(["er", "--generator", "grid2d:9x9",
+                  "--load-engine", str(engine_path), "--pairs", "0,1"])
+
+    def test_save_engine_refused_for_exact(self, tmp_path, capsys):
+        with pytest.raises(SystemExit, match="persistence"):
+            main(["er", "--generator", "grid2d:4x4", "--method", "exact",
+                  "--pairs", "0,1", "--save-engine", str(tmp_path / "x.npz")])
+
+    def test_sharded_flag(self, capsys):
+        code = main(["er", "--generator", "grid2d:5x5", "--method", "exact",
+                     "--sharded", "--pairs", "0,24"])
+        assert code == 0
+        _, _, r = capsys.readouterr().out.splitlines()[1].split(",")
+        assert float(r) > 0
+
+    def test_naive_method_available(self, capsys):
+        code = main(["er", "--generator", "grid2d:4x4", "--method", "naive",
+                     "--pairs", "0,15"])
+        assert code == 0
+
 
 class TestService:
     def test_pairs_and_top_k(self, capsys):
@@ -79,6 +116,18 @@ class TestService:
 
     def test_nothing_to_do(self, capsys):
         assert main(["service", "--generator", "grid2d:4x4"]) == 1
+
+    def test_warm_start_from_saved_engine(self, tmp_path, capsys):
+        engine_path = tmp_path / "warm.npz"
+        main(["service", "--generator", "grid2d:6x6", "--pairs", "0,35",
+              "--save-engine", str(engine_path)])
+        cold = capsys.readouterr().out.splitlines()[1]
+        code = main(["service", "--load-engine", str(engine_path),
+                     "--pairs", "0,35", "--top-k", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines()[1] == cold
+        assert "top 2 central edges" in captured.out
 
 
 class TestPowerGridCommands:

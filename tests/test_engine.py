@@ -1,0 +1,335 @@
+"""Engine protocol, registry, sharding and persistence tests.
+
+The conformance suite runs the same structural checks over *every*
+registered engine (plus sharded composites): engines added later inherit
+the whole battery by registering and adding one config below.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.effective_resistance import (
+    CholInvEffectiveResistance,
+    ExactEffectiveResistance,
+    effective_resistances,
+)
+from repro.core.engine import (
+    EngineConfig,
+    ResistanceEngine,
+    as_pair_array,
+    build_engine,
+    config_from_kwargs,
+    registered_engines,
+)
+from repro.core.persistence import load_engine, save_engine
+from repro.core.sharded import ShardedEngine
+from repro.graphs.generators import fe_mesh_2d
+from repro.graphs.graph import Graph
+from repro.service import ResistanceService
+
+# Conformance configurations: one per registered engine, plus sharded
+# composites.  random_projection gets enough projections to keep its
+# structural answers stable on tiny graphs.
+CONFIGS = {
+    "cholinv": EngineConfig(),
+    "exact": EngineConfig(method="exact"),
+    "naive": EngineConfig(method="naive"),
+    "random_projection": EngineConfig(
+        method="random_projection", num_projections=64, solver="splu", seed=0
+    ),
+    "sharded-cholinv": EngineConfig(sharded=True),
+    "sharded-exact": EngineConfig(method="exact", sharded=True, lazy_shards=True),
+}
+
+
+@pytest.fixture
+def multi_component() -> Graph:
+    """Three triangles + a trailing isolated node (4 components, 10 nodes)."""
+    edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3),
+             (6, 7), (7, 8), (8, 6)]
+    return Graph.from_edges(10, edges)
+
+
+def test_every_registered_engine_has_a_conformance_config():
+    covered = {cfg.method for cfg in CONFIGS.values()}
+    assert set(registered_engines()) == covered
+
+
+@pytest.fixture(params=sorted(CONFIGS), name="engine")
+def engine_fixture(request, multi_component) -> ResistanceEngine:
+    return build_engine(multi_component, CONFIGS[request.param])
+
+
+class TestProtocolConformance:
+    def test_protocol_surface(self, engine, multi_component):
+        assert isinstance(engine, ResistanceEngine)
+        assert engine.n == multi_component.num_nodes
+        assert engine.component_labels.shape == (multi_component.num_nodes,)
+        assert hasattr(engine.timer, "section")
+        assert engine.graph is multi_component
+        assert engine.config is not None
+
+    def test_empty_batch(self, engine):
+        out = engine.query_pairs([])
+        assert out.shape == (0,)
+        assert out.dtype == np.float64
+        assert engine.query_pairs(np.empty((0, 2), dtype=np.int64)).shape == (0,)
+
+    def test_query_symmetry(self, engine):
+        assert engine.query(0, 2) == pytest.approx(engine.query(2, 0))
+
+    def test_zero_diagonal(self, engine):
+        assert np.array_equal(engine.query_pairs([(1, 1), (9, 9)]), [0.0, 0.0])
+
+    def test_inf_across_components(self, engine):
+        values = engine.query_pairs([(0, 3), (2, 6), (0, 9)])
+        assert np.all(np.isinf(values))
+
+    def test_scalar_query_matches_batch(self, engine):
+        assert engine.query(0, 1) == pytest.approx(
+            float(engine.query_pairs([(0, 1)])[0])
+        )
+
+    def test_all_edge_resistances(self, engine, multi_component):
+        values = engine.all_edge_resistances()
+        assert values.shape == (multi_component.num_edges,)
+        assert np.all(np.isfinite(values)) and np.all(values > 0)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"cholinv", "exact", "random_projection", "naive"} <= set(
+            registered_engines()
+        )
+
+    def test_build_engine_returns_registered_classes(self, multi_component):
+        assert isinstance(build_engine(multi_component, "exact"),
+                          ExactEffectiveResistance)
+        assert isinstance(
+            build_engine(multi_component, EngineConfig(sharded=True)),
+            ShardedEngine,
+        )
+
+    def test_unknown_method_raises(self, multi_component):
+        with pytest.raises(ValueError, match="unknown method"):
+            build_engine(multi_component, EngineConfig(method="bogus"))
+
+    def test_unknown_kwarg_raises(self):
+        with pytest.raises(ValueError, match="unknown engine parameter"):
+            config_from_kwargs("cholinv", dropp_tol=1e-3)
+
+    def test_config_plus_kwargs_rejected(self, multi_component):
+        with pytest.raises(ValueError):
+            build_engine(multi_component, EngineConfig(), epsilon=1e-2)
+
+    def test_config_plus_conflicting_method_rejected(self, multi_component):
+        with pytest.raises(ValueError, match="conflicts"):
+            effective_resistances(
+                multi_component, [(0, 1)], method="exact", config=EngineConfig()
+            )
+        with pytest.raises(ValueError, match="conflicts"):
+            ResistanceService(
+                multi_component, method="naive", config=EngineConfig(method="exact")
+            )
+        # a matching method is fine
+        ResistanceService(
+            multi_component, method="exact", config=EngineConfig(method="exact")
+        )
+
+    def test_legacy_dispatcher_signatures_still_work(self, multi_component):
+        a = effective_resistances(multi_component, [(0, 1)], method="exact")
+        b = effective_resistances(
+            multi_component, [(0, 1)], method="cholinv", epsilon=0.0, drop_tol=0.0
+        )
+        c = effective_resistances(
+            multi_component, [(0, 1)], config=EngineConfig(method="exact")
+        )
+        assert a == pytest.approx(b) and a == pytest.approx(c)
+
+    def test_config_round_trips_through_dict(self):
+        config = EngineConfig(method="exact", epsilon=0.5, sharded=True)
+        assert EngineConfig.from_dict(config.to_dict()) == config
+        # unknown keys (newer versions) are ignored
+        assert EngineConfig.from_dict({"method": "exact", "future_knob": 1})
+
+    def test_as_pair_array_shapes(self):
+        assert as_pair_array([]).shape == (0, 2)
+        assert as_pair_array((3, 4)).shape == (1, 2)
+        with pytest.raises(ValueError, match="pairs must be"):
+            as_pair_array(np.zeros((2, 3)))
+
+
+class TestShardedEngine:
+    def test_matches_unsharded_exact(self, multi_component):
+        rng = np.random.default_rng(0)
+        pairs = np.column_stack([rng.integers(0, 10, 200), rng.integers(0, 10, 200)])
+        whole = build_engine(multi_component, EngineConfig(method="exact"))
+        sharded = build_engine(
+            multi_component, EngineConfig(method="exact", sharded=True)
+        )
+        a, b = whole.query_pairs(pairs), sharded.query_pairs(pairs)
+        finite = np.isfinite(a)
+        assert np.array_equal(finite, np.isfinite(b))
+        assert np.allclose(a[finite], b[finite], rtol=1e-8)
+
+    def test_cholinv_sharded_accuracy(self):
+        # two disjoint meshes glued into one graph: shards factor smaller
+        left = fe_mesh_2d(6, 7, seed=1)
+        right = fe_mesh_2d(5, 6, seed=2)
+        n = left.num_nodes + right.num_nodes
+        graph = Graph(
+            n,
+            np.concatenate([left.heads, right.heads + left.num_nodes]),
+            np.concatenate([left.tails, right.tails + left.num_nodes]),
+            np.concatenate([left.weights, right.weights]),
+        )
+        rng = np.random.default_rng(3)
+        pairs = np.column_stack([rng.integers(0, n, 300), rng.integers(0, n, 300)])
+        truth = build_engine(graph, EngineConfig(method="exact")).query_pairs(pairs)
+        sharded = build_engine(graph, EngineConfig(sharded=True)).query_pairs(pairs)
+        finite = np.isfinite(truth) & (truth > 0)
+        assert np.array_equal(np.isfinite(truth), np.isfinite(sharded))
+        rel = np.abs(sharded[finite] - truth[finite]) / truth[finite]
+        assert rel.max() < 2e-2
+
+    def test_lazy_builds_only_touched_shards(self, multi_component):
+        engine = build_engine(
+            multi_component, EngineConfig(method="exact", sharded=True,
+                                          lazy_shards=True)
+        )
+        assert engine.shards_built == 0
+        assert np.isinf(engine.query(0, 3))  # cross-component: no build
+        assert engine.shards_built == 0
+        engine.query(3, 5)
+        assert engine.shards_built == 1
+
+    def test_singleton_components_never_build(self, multi_component):
+        engine = build_engine(
+            multi_component, EngineConfig(method="exact", sharded=True)
+        )
+        assert engine.num_shards == 4
+        assert engine.shards_built == 3  # the isolated node builds nothing
+        assert engine.query(9, 9) == 0.0
+
+    def test_shard_sizes(self, multi_component):
+        engine = ShardedEngine(multi_component, EngineConfig(method="exact"))
+        assert sorted(engine.shard_sizes().tolist()) == [1, 3, 3, 3]
+
+    def test_many_shards_one_pair_each(self):
+        # 60 disjoint 2-paths: the batch grouping must touch each shard
+        # exactly once, not rescan the batch per shard
+        k = 60
+        edges = [(3 * i + a, 3 * i + a + 1) for i in range(k) for a in (0, 1)]
+        graph = Graph.from_edges(3 * k, edges)
+        engine = build_engine(graph, EngineConfig(method="exact", sharded=True))
+        pairs = [(3 * i, 3 * i + 2) for i in range(k)] + [(0, 4)]
+        values = engine.query_pairs(pairs)
+        assert np.allclose(values[:k], 2.0)  # two unit resistors in series
+        assert np.isinf(values[k])
+
+
+class TestPersistence:
+    def test_save_load_bit_identical(self, tmp_path, multi_component):
+        engine = build_engine(multi_component, EngineConfig(epsilon=1e-3))
+        path = engine.save(tmp_path / "engine.npz")
+        restored = load_engine(path)
+        rng = np.random.default_rng(1)
+        pairs = np.column_stack([rng.integers(0, 10, 300), rng.integers(0, 10, 300)])
+        assert np.array_equal(
+            engine.query_pairs(pairs), restored.query_pairs(pairs)
+        )
+        assert isinstance(restored, CholInvEffectiveResistance)
+        assert restored.config.epsilon == engine.epsilon
+        assert restored.stats.nnz == engine.stats.nnz
+
+    def test_save_appends_npz_suffix(self, tmp_path, weighted_mesh):
+        engine = build_engine(weighted_mesh, EngineConfig())
+        path = engine.save(tmp_path / "engine.bin")
+        assert path.name == "engine.bin.npz"
+        assert load_engine(tmp_path / "engine.bin").n == weighted_mesh.num_nodes
+
+    def test_non_cholinv_engines_refuse(self, tmp_path, weighted_mesh):
+        engine = build_engine(weighted_mesh, EngineConfig(method="exact"))
+        with pytest.raises(NotImplementedError, match="persistence"):
+            engine.save(tmp_path / "nope.npz")
+        with pytest.raises(NotImplementedError, match="persistence"):
+            save_engine(engine, tmp_path / "nope.npz")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no saved engine"):
+            load_engine(tmp_path / "absent.npz")
+
+    def test_loaded_engine_has_no_depths(self, tmp_path, weighted_mesh):
+        engine = build_engine(weighted_mesh, EngineConfig())
+        restored = load_engine(engine.save(tmp_path / "e.npz"))
+        with pytest.raises(ValueError, match="depth"):
+            _ = restored.depths
+
+    def test_service_from_saved(self, tmp_path, weighted_mesh):
+        original = ResistanceService(weighted_mesh, epsilon=1e-4, drop_tol=1e-4)
+        path = original.engine.save(tmp_path / "svc.npz")
+        warm = ResistanceService.from_saved(path)
+        pairs = [(0, 7), (1, 9)]
+        assert np.array_equal(
+            original.query_pairs(pairs), warm.query_pairs(pairs)
+        )
+        assert warm.method == "cholinv"
+        assert warm.config.epsilon == 1e-4
+        # refresh rebuilds with the saved configuration (corner-to-corner
+        # edge is new, so it survives coalescing)
+        far = weighted_mesh.num_nodes - 1
+        stats = warm.refresh_after_edge_update(edges=[(0, far)], weights=[1.0])
+        assert stats.num_edges == weighted_mesh.num_edges + 1
+        assert np.isfinite(warm.query(0, 7))
+
+    def test_warm_refresh_regrounds_like_cold(self, tmp_path, weighted_mesh):
+        """A default (ground_value=None) config must stay None through
+        save/load, so refreshing a warm-started service recomputes the
+        grounding from the *new* graph exactly like a cold service."""
+        cold = ResistanceService(weighted_mesh)
+        warm = ResistanceService.from_saved(
+            cold.engine.save(tmp_path / "ground.npz")
+        )
+        assert warm.config.ground_value is None
+        far = weighted_mesh.num_nodes - 1
+        heavy = [(0, far)], [100.0]  # shifts the mean edge weight a lot
+        cold.refresh_after_edge_update(edges=heavy[0], weights=heavy[1])
+        warm.refresh_after_edge_update(edges=heavy[0], weights=heavy[1])
+        pairs = [(0, 7), (1, far)]
+        assert np.array_equal(
+            cold.engine.query_pairs(pairs), warm.engine.query_pairs(pairs)
+        )
+        assert warm.engine.ground_value == cold.engine.ground_value
+
+
+class TestServiceEngineIntegration:
+    def test_service_accepts_config(self, weighted_mesh):
+        service = ResistanceService(
+            weighted_mesh, config=EngineConfig(method="exact")
+        )
+        assert service.method == "exact"
+        assert np.isfinite(service.query(0, 5))
+
+    def test_service_serves_sharded_engine(self, multi_component):
+        service = ResistanceService(
+            multi_component, config=EngineConfig(method="exact", sharded=True)
+        )
+        assert np.isinf(service.query(0, 3))
+        assert service.query(0, 1) == pytest.approx(2.0 / 3.0)
+
+    def test_service_empty_batch(self, weighted_mesh):
+        service = ResistanceService(weighted_mesh)
+        assert service.query_pairs([]).shape == (0,)
+
+    def test_service_config_plus_kwargs_rejected(self, weighted_mesh):
+        with pytest.raises(ValueError):
+            ResistanceService(
+                weighted_mesh, config=EngineConfig(), epsilon=1e-2
+            )
+
+    def test_refresh_weights_length_mismatch(self, weighted_mesh):
+        service = ResistanceService(weighted_mesh, method="exact")
+        with pytest.raises(ValueError, match="weights length"):
+            service.refresh_after_edge_update(
+                edges=[(0, 1), (1, 2)], weights=[1.0]
+            )

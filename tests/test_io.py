@@ -77,6 +77,41 @@ def test_edgelist_out_of_range_ids_still_compact(tmp_path):
     assert int(g.tails.max()) < 10
 
 
+def test_edgelist_round_trip_preserves_trailing_isolated_nodes(tmp_path):
+    """The ``# nodes`` header must carry nodes no edge line witnesses."""
+    g = Graph.from_edges(10, [(0, 1), (1, 2)])  # nodes 3..9 isolated
+    path = tmp_path / "isolated.txt"
+    write_edgelist(g, path)
+    back = read_edgelist(path)
+    assert back.num_nodes == 10
+    assert back.num_edges == 2
+    assert sorted(zip(back.heads.tolist(), back.tails.tolist())) == [(0, 1), (1, 2)]
+
+
+def test_edgelist_round_trip_zero_edges(tmp_path):
+    g = Graph.from_edges(5, [])
+    path = tmp_path / "empty.txt"
+    write_edgelist(g, path)
+    assert read_edgelist(path).num_nodes == 5
+
+
+def test_edgelist_snap_style_header(tmp_path):
+    """Real SNAP headers (``# Nodes: N Edges: M``) declare the count too."""
+    path = tmp_path / "snap.txt"
+    path.write_text("# Nodes: 8 Edges: 2\n1 3\n3 6\n")
+    g = read_edgelist(path)
+    assert g.num_nodes == 8
+    assert sorted(zip(g.heads.tolist(), g.tails.tolist())) == [(1, 3), (3, 6)]
+
+
+def test_edgelist_malformed_header_ignored(tmp_path):
+    path = tmp_path / "bad_header.txt"
+    path.write_text("# nodes\n# nodes lots edges few\n0 1\n")
+    g = read_edgelist(path)  # falls back to max-id inference
+    assert g.num_nodes == 2
+    assert g.num_edges == 1
+
+
 def test_matrix_market_round_trip(tmp_path, weighted_mesh):
     path = tmp_path / "mesh.mtx"
     write_matrix_market(weighted_mesh, path)
