@@ -35,8 +35,11 @@ Layers
 * :mod:`repro.reduction` — Alg. 1 graph-sparsification-based PG reduction;
 * :mod:`repro.apps` — transient / DC-incremental application flows
   (Table II);
-* :mod:`repro.service` — cached, refreshable query serving layer
-  (:class:`~repro.service.ResistanceService`);
+* :mod:`repro.service` — the serving stack: planner/executor batch
+  partitioning (:mod:`repro.service.planner`,
+  :mod:`repro.service.executor`), the cached thread-safe
+  :class:`~repro.service.ResistanceService`, and the micro-batching async
+  front-end :class:`~repro.service.AsyncResistanceService`;
 * :mod:`repro.bench` — harness regenerating every table and figure.
 """
 
@@ -77,7 +80,14 @@ from repro.graphs.generators import (
 )
 from repro.graphs.graph import Graph
 from repro.graphs.laplacian import grounded_laplacian, incidence_matrix, laplacian
-from repro.service import ResistanceService
+from repro.service import (
+    AsyncResistanceService,
+    BatchReport,
+    ResistanceService,
+    SerialExecutor,
+    ThreadedExecutor,
+    make_executor,
+)
 
 __version__ = "1.0.0"
 
@@ -107,6 +117,11 @@ __all__ = [
     "effective_resistances",
     "spanning_edge_centrality",
     "ResistanceService",
+    "AsyncResistanceService",
+    "BatchReport",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "make_executor",
     "estimate_query_errors",
     "theorem1_bound",
     "path_graph",

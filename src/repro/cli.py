@@ -8,7 +8,10 @@ Commands
                 ``--save-engine``/``--load-engine`` persist/warm-start
                 built Alg. 3 engines
 ``service``     serve batched/centrality queries via ResistanceService
-                (same engine/persistence options as ``er``)
+                (same engine/persistence options as ``er``);
+                ``--workers`` fans sharded sub-batches out over threads,
+                ``--batch-window`` micro-batches repeated requests through
+                AsyncResistanceService, ``--mmap`` maps a loaded engine
 ``dc``          DC operating point of a SPICE power grid
 ``transient``   Backward-Euler transient analysis of a SPICE power grid
 ``reduce``      Alg. 1 power-grid reduction (SPICE in → SPICE out)
@@ -116,50 +119,77 @@ def cmd_service(args) -> int:
     """Serve pair queries / edge-centrality rankings from a ResistanceService."""
     import time
 
-    from repro.service import ResistanceService
+    from repro.service import AsyncResistanceService, ResistanceService, make_executor
 
     if not args.pairs and not args.top_k:
         print("nothing to do: pass --pairs and/or --top-k", file=sys.stderr)
         return 1
-    t0 = time.perf_counter()
-    if args.load_engine:
-        _reject_graph_source_with_load(args)
-        service = ResistanceService.from_saved(args.load_engine)
-        graph = service.graph
-        print(f"engine loaded from {args.load_engine}", file=sys.stderr)
-    else:
-        graph = _load_graph(args)
-        service = ResistanceService(graph, config=_engine_config(args))
-    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges", file=sys.stderr)
-    print(f"service ready in {time.perf_counter() - t0:.2f}s", file=sys.stderr)
-    if args.save_engine:
-        _save_engine(service.engine, args.save_engine)
-
-    if args.pairs:
-        pairs = np.asarray(
-            [tuple(int(x) for x in pair.split(",")) for pair in args.pairs]
-        )
-        repeat = max(args.repeat, 1)
+    with make_executor(args.workers) as executor:  # shut the pool down on exit
         t0 = time.perf_counter()
-        for _ in range(repeat):
-            values = service.query_pairs(pairs)
-        elapsed = time.perf_counter() - t0
-        print("p,q,r_eff")
-        for (p, q), r in zip(pairs, values):
-            print(f"{int(p)},{int(q)},{r:.10g}")
-        total = pairs.shape[0] * repeat
-        print(
-            f"{total} queries in {elapsed:.3f}s "
-            f"({total / max(elapsed, 1e-12):.0f} q/s, "
-            f"hit rate {service.stats.hit_rate:.1%})",
-            file=sys.stderr,
-        )
-    if args.top_k:
-        edges, centrality = service.top_k_central_edges(args.top_k)
-        print(f"top {len(edges)} central edges (w(e)·R(e)):")
-        for e, c in zip(edges, centrality):
-            u, v = int(graph.heads[e]), int(graph.tails[e])
-            print(f"  ({u}, {v})  centrality={c:.6g}")
+        if args.load_engine:
+            _reject_graph_source_with_load(args)
+            service = ResistanceService.from_saved(
+                args.load_engine, mmap=args.mmap, executor=executor
+            )
+            graph = service.graph
+            print(f"engine loaded from {args.load_engine}", file=sys.stderr)
+        else:
+            graph = _load_graph(args)
+            service = ResistanceService(
+                graph, config=_engine_config(args), executor=executor
+            )
+        print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges",
+              file=sys.stderr)
+        print(f"service ready in {time.perf_counter() - t0:.2f}s "
+              f"({executor.workers} worker(s))", file=sys.stderr)
+        if args.save_engine:
+            _save_engine(service.engine, args.save_engine)
+
+        if args.pairs:
+            pairs = np.asarray(
+                [tuple(int(x) for x in pair.split(",")) for pair in args.pairs]
+            )
+            repeat = max(args.repeat, 1)
+            t0 = time.perf_counter()
+            if args.batch_window > 0.0:
+                # each repeat is one concurrent request; the micro-batching
+                # loop coalesces them into few planned engine batches
+                with AsyncResistanceService(
+                    service, batch_window=args.batch_window
+                ) as front:
+                    futures = [front.submit(pairs) for _ in range(repeat)]
+                    values = futures[-1].result()
+                    for future in futures:
+                        future.result()
+                    coalesced = front.stats.batches
+            else:
+                for _ in range(repeat):
+                    values = service.query_pairs(pairs)
+                coalesced = None
+            elapsed = time.perf_counter() - t0
+            print("p,q,r_eff")
+            for (p, q), r in zip(pairs, values):
+                print(f"{int(p)},{int(q)},{r:.10g}")
+            total = pairs.shape[0] * repeat
+            print(
+                f"{total} queries in {elapsed:.3f}s "
+                f"({total / max(elapsed, 1e-12):.0f} q/s, "
+                f"hit rate {service.stats.hit_rate:.1%})",
+                file=sys.stderr,
+            )
+            if coalesced is not None:
+                print(
+                    f"micro-batching: {repeat} requests coalesced into "
+                    f"{coalesced} engine batch(es) "
+                    f"(window {args.batch_window:g}s)",
+                    file=sys.stderr,
+                )
+        if args.top_k:
+            edges, centrality = service.top_k_central_edges(args.top_k)
+            print(f"top {len(edges)} central edges (w(e)·R(e)):")
+            for e, c in zip(edges, centrality):
+                u, v = int(graph.heads[e]), int(graph.tails[e])
+                print(f"  ({u}, {v})  centrality={c:.6g}")
     return 0
 
 
@@ -309,6 +339,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="repeat the pair batch (exercises the result cache)")
     sv.add_argument("--top-k", dest="top_k", type=int, default=0,
                     help="print the k most central edges (w(e)·R(e))")
+    sv.add_argument("--workers", type=int, default=1,
+                    help="executor threads fanning per-shard sub-batches "
+                         "out in parallel (pairs well with --sharded)")
+    sv.add_argument("--batch-window", dest="batch_window", type=float,
+                    default=0.0, metavar="SECONDS",
+                    help="micro-batching window; > 0 serves the repeated "
+                         "pair batches through AsyncResistanceService, "
+                         "coalescing concurrent requests")
+    sv.add_argument("--mmap", action="store_true",
+                    help="with --load-engine, memory-map the saved arrays "
+                         "so co-located workers share pages")
     sv.set_defaults(func=cmd_service)
 
     dc = sub.add_parser("dc", help="DC analysis of a SPICE power grid")

@@ -72,6 +72,25 @@ def as_pair_columns(pairs) -> "tuple[np.ndarray, np.ndarray]":
     return arr[:, 0], arr[:, 1]
 
 
+def validate_node_ids(ids, num_nodes: int) -> None:
+    """Raise ``ValueError`` naming the first id outside ``0 .. num_nodes-1``.
+
+    The serving layer calls this at its boundary so a bad request fails
+    with a clear message instead of an ``IndexError`` (or, worse, a
+    silently wrapped negative index) deep inside an engine.
+    """
+    arr = np.asarray(ids, dtype=np.int64).ravel()
+    if arr.size == 0:
+        return
+    bad = (arr < 0) | (arr >= num_nodes)
+    if bad.any():
+        first = int(arr[np.argmax(bad)])
+        raise ValueError(
+            f"node id {first} is out of range for a graph with "
+            f"{num_nodes} nodes (valid ids: 0..{num_nodes - 1})"
+        )
+
+
 # ----------------------------------------------------------------------
 # configuration
 # ----------------------------------------------------------------------

@@ -20,12 +20,17 @@ engines"):
 
 Entry points: :func:`save_engine` / :func:`load_engine`, surfaced as
 ``engine.save(path)``, ``ResistanceService.from_saved(path)`` and the CLI's
-``--save-engine`` / ``--load-engine`` options.
+``--save-engine`` / ``--load-engine`` options.  ``load_engine(path,
+mmap=True)`` memory-maps the large arrays instead of reading them: many
+service workers on one host then share the physical pages of one saved
+factor (the ``.npz`` is an uncompressed zip, so each member's array data
+sits at a fixed file offset that ``np.memmap`` can map read-only).
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -101,7 +106,64 @@ def save_engine(engine, path: "str | Path") -> Path:
     return path
 
 
-def load_engine(path: "str | Path"):
+def _mmap_npz_arrays(path: Path) -> "dict[str, np.ndarray]":
+    """Read an uncompressed ``.npz``, memory-mapping every 1-D+ member.
+
+    ``np.savez`` stores members without compression, so each embedded
+    ``.npy`` payload lives at ``local header + npy header`` bytes into the
+    archive — a fixed offset ``np.memmap`` can map read-only.  Scalars
+    (0-d arrays like the format version or the config JSON) are read
+    normally; a compressed member (not produced by :func:`save_engine`,
+    but legal zip) falls back to an in-memory read.
+    """
+    arrays: "dict[str, np.ndarray]" = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[:-4]
+            if info.compress_type != zipfile.ZIP_STORED:
+                with archive.open(info) as member:
+                    arrays[name] = np.lib.format.read_array(
+                        member, allow_pickle=False
+                    )
+                continue
+            # data offset = local file header (30 bytes) + name + extra
+            raw.seek(info.header_offset)
+            local_header = raw.read(30)
+            require(
+                local_header[:4] == b"PK\x03\x04",
+                f"corrupt zip member {info.filename!r} in {path}",
+            )
+            name_len = int.from_bytes(local_header[26:28], "little")
+            extra_len = int.from_bytes(local_header[28:30], "little")
+            raw.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(raw)
+            read_header = {
+                (1, 0): np.lib.format.read_array_header_1_0,
+                (2, 0): np.lib.format.read_array_header_2_0,
+            }.get(version)
+            require(
+                read_header is not None,
+                f"unsupported .npy header version {version} in {path}",
+            )
+            shape, fortran_order, dtype = read_header(raw)
+            if len(shape) == 0 or dtype.hasobject:
+                raw.seek(info.header_offset + 30 + name_len + extra_len)
+                arrays[name] = np.lib.format.read_array(raw, allow_pickle=False)
+                continue
+            arrays[name] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=raw.tell(),
+                shape=shape,
+                order="F" if fortran_order else "C",
+            )
+    return arrays
+
+
+def load_engine(path: "str | Path", mmap: bool = False):
     """Rehydrate an engine saved by :func:`save_engine`.
 
     The returned engine is a real
@@ -109,43 +171,52 @@ def load_engine(path: "str | Path"):
     whose ``query_pairs`` output is bit-identical to the saved one; its
     ``config`` attribute carries the settings it was built with so
     :class:`~repro.service.ResistanceService` can refresh it after graph
-    edits.
+    edits.  With ``mmap=True`` the large arrays (``Z̃`` data/indices,
+    norms, permutation, graph edges) stay on disk as read-only memory
+    maps, so many workers on one host share one copy of the pages.
     """
     from repro.core.effective_resistance import CholInvEffectiveResistance
 
     path = _npz_path(path)
     require(path.exists(), f"no saved engine at {path}")
+    if mmap:
+        data = _mmap_npz_arrays(path)
+        return _engine_from_arrays(data, CholInvEffectiveResistance)
     with np.load(path, allow_pickle=False) as data:
-        version = int(data["format_version"])
-        require(
-            version <= FORMAT_VERSION,
-            f"saved engine format v{version} is newer than supported "
-            f"v{FORMAT_VERSION}",
-        )
-        config = EngineConfig.from_dict(json.loads(str(data["config_json"])))
-        graph = Graph(
-            int(data["num_nodes"]),
-            data["graph_heads"],
-            data["graph_tails"],
-            data["graph_weights"],
-        )
-        z_tilde = sp.csc_matrix(
-            (data["z_data"], data["z_indices"], data["z_indptr"]),
-            shape=tuple(int(s) for s in data["z_shape"]),
-        )
-        stats = ApproxInverseStats(
-            nnz=int(data["stats_nnz"]),
-            n=int(data["stats_n"]),
-            columns_truncated=int(data["stats_columns_truncated"]),
-            columns_kept_whole=int(data["stats_columns_kept_whole"]),
-        )
-        return CholInvEffectiveResistance.from_state(
-            graph=graph,
-            config=config,
-            z_tilde=z_tilde,
-            perm=data["perm"],
-            column_sq_norms=data["column_sq_norms"],
-            component_labels=data["component_labels"],
-            stats=stats,
-            ground_value=float(data["ground_value"]),
-        )
+        return _engine_from_arrays(data, CholInvEffectiveResistance)
+
+
+def _engine_from_arrays(data, engine_cls):
+    version = int(data["format_version"])
+    require(
+        version <= FORMAT_VERSION,
+        f"saved engine format v{version} is newer than supported "
+        f"v{FORMAT_VERSION}",
+    )
+    config = EngineConfig.from_dict(json.loads(str(data["config_json"])))
+    graph = Graph(
+        int(data["num_nodes"]),
+        data["graph_heads"],
+        data["graph_tails"],
+        data["graph_weights"],
+    )
+    z_tilde = sp.csc_matrix(
+        (data["z_data"], data["z_indices"], data["z_indptr"]),
+        shape=tuple(int(s) for s in data["z_shape"]),
+    )
+    stats = ApproxInverseStats(
+        nnz=int(data["stats_nnz"]),
+        n=int(data["stats_n"]),
+        columns_truncated=int(data["stats_columns_truncated"]),
+        columns_kept_whole=int(data["stats_columns_kept_whole"]),
+    )
+    return engine_cls.from_state(
+        graph=graph,
+        config=config,
+        z_tilde=z_tilde,
+        perm=data["perm"],
+        column_sq_norms=data["column_sq_norms"],
+        component_labels=data["component_labels"],
+        stats=stats,
+        ground_value=float(data["ground_value"]),
+    )

@@ -7,18 +7,24 @@ cheaper than factoring the whole grounded Laplacian at once: each shard
 factors a smaller matrix with its own fill-reducing ordering, singleton
 components never build anything, and cross-component queries are answered
 from the component labels without touching any factor.  Shards are also
-the natural unit of future parallelism and distribution (ROADMAP:
-"shard ``ResistanceService`` across subgraphs/components").
+the unit of parallelism: :meth:`ShardedEngine.shard_subbatches` groups a
+pair batch by component and :meth:`ShardedEngine.query_shard` answers one
+group, which is exactly the sub-batch interface the serving layer's
+planner/executor (:mod:`repro.service.planner`,
+:mod:`repro.service.executor`) fans out across threads.
 
 ``ShardedEngine`` wraps any registered base engine: the wrapped method and
 its tunables come from the same :class:`~repro.core.engine.EngineConfig`
 the factory uses (``config.sharded`` is what routes ``build_engine`` here).
 With ``lazy_shards=True`` each sub-engine is built on the first query that
 lands in its shard, so a service warm-starts instantly and only pays for
-the components traffic actually touches.
+the components traffic actually touches; lazy builds are serialised per
+shard, so concurrent queries are safe and never build a shard twice.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -31,6 +37,7 @@ from repro.core.engine import (
 from repro.graphs.components import connected_components
 from repro.graphs.graph import Graph
 from repro.utils.timing import Timer
+from repro.utils.validation import require
 
 
 class ShardedEngine(ResistanceEngine):
@@ -84,6 +91,11 @@ class ShardedEngine(ResistanceEngine):
             # members of shard c, in local-rank order
             self._members = np.split(order, np.cumsum(counts)[:-1])
         self._engines: "list[ResistanceEngine | None]" = [None] * self.num_shards
+        # lazy builds under concurrency: one lock per in-flight shard build
+        # (created on demand), so distinct shards build in parallel while a
+        # given shard is never built twice
+        self._build_locks: "dict[int, threading.Lock]" = {}
+        self._locks_guard = threading.Lock()
         if not self.lazy:
             for c in range(self.num_shards):
                 if counts[c] > 1:
@@ -100,35 +112,72 @@ class ShardedEngine(ResistanceEngine):
         return np.bincount(self.component_labels, minlength=self.num_shards)
 
     def _shard(self, c: int) -> ResistanceEngine:
-        if self._engines[c] is None:
-            with self.timer.section("shard_build"):
-                sub, _ = self.graph.subgraph(self._members[c])
-                self._engines[c] = build_engine(sub, self._shard_config)
+        engine = self._engines[c]
+        if engine is not None:
+            return engine
+        with self._locks_guard:
+            lock = self._build_locks.setdefault(c, threading.Lock())
+        with lock:
+            if self._engines[c] is None:
+                with self.timer.section("shard_build"):
+                    sub, _ = self.graph.subgraph(self._members[c])
+                    self._engines[c] = build_engine(sub, self._shard_config)
         return self._engines[c]
 
     # ------------------------------------------------------------------
-    def query_pairs(self, pairs) -> np.ndarray:
-        """Batch queries routed shard-by-shard; cross-component → ``inf``.
+    # sub-batch interface (what the serving layer's planner fans out)
+    # ------------------------------------------------------------------
+    def shard_subbatches(
+        self, ps, qs
+    ) -> "list[tuple[int, np.ndarray, np.ndarray]]":
+        """Group within-component pairs by shard.
 
-        Pairs are grouped by component with one argsort (O(m log m) for
-        the whole batch, however many shards it touches), then each
-        touched shard answers its group in a single sub-engine call.
+        Returns one ``(shard_id, positions, local_pairs)`` triple per
+        touched component: ``positions`` indexes the input arrays, and
+        ``local_pairs`` is the ``(k, 2)`` shard-local id array that
+        :meth:`query_shard` answers.  Self pairs and cross-component pairs
+        are excluded — they never need an engine.  One stable argsort
+        groups the whole batch (O(m log m) however many shards it hits).
         """
-        ps, qs = as_pair_columns(pairs)
-        out = np.full(ps.shape[0], np.inf)
+        ps = np.asarray(ps, dtype=np.int64)
+        qs = np.asarray(qs, dtype=np.int64)
         labels = self.component_labels
         active = np.flatnonzero((labels[ps] == labels[qs]) & (ps != qs))
+        if active.size == 0:
+            return []
+        components = labels[ps[active]]
+        order = np.argsort(components, kind="stable")
+        grouped = active[order]
+        boundaries = np.flatnonzero(np.diff(components[order])) + 1
+        subbatches = []
+        for group in np.split(grouped, boundaries):
+            local = np.column_stack(
+                [self._local[ps[group]], self._local[qs[group]]]
+            )
+            subbatches.append((int(labels[ps[group[0]]]), group, local))
+        return subbatches
+
+    def query_shard(self, shard_id: int, local_pairs) -> np.ndarray:
+        """Answer one shard's sub-batch of *shard-local* pairs.
+
+        Builds the shard first if it is lazy and cold; safe to call from
+        several threads at once (the serving layer's
+        :class:`~repro.service.executor.ThreadedExecutor` does exactly
+        that, one call per touched shard).
+        """
+        require(
+            0 <= shard_id < self.num_shards,
+            f"shard id {shard_id} out of range for {self.num_shards} shards",
+        )
+        return self._shard(shard_id).query_pairs(local_pairs)
+
+    # ------------------------------------------------------------------
+    def query_pairs(self, pairs) -> np.ndarray:
+        """Batch queries routed shard-by-shard; cross-component → ``inf``."""
+        ps, qs = as_pair_columns(pairs)
+        out = np.full(ps.shape[0], np.inf)
         with self.timer.section("queries"):
-            if active.size:
-                components = labels[ps[active]]
-                order = np.argsort(components, kind="stable")
-                grouped = active[order]
-                boundaries = np.flatnonzero(np.diff(components[order])) + 1
-                for group in np.split(grouped, boundaries):
-                    local = np.column_stack(
-                        [self._local[ps[group]], self._local[qs[group]]]
-                    )
-                    shard = self._shard(int(labels[ps[group[0]]]))
-                    out[group] = shard.query_pairs(local)
+            for shard_id, group, local in self.shard_subbatches(ps, qs):
+                out[group] = self.query_shard(shard_id, local)
         out[ps == qs] = 0.0
         return out

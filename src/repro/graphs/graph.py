@@ -132,6 +132,29 @@ class Graph:
             np.asarray(weights, dtype=np.float64),
         )
 
+    @classmethod
+    def disjoint_union(cls, graphs) -> "Graph":
+        """Concatenate graphs into one with ``k`` (or more) components.
+
+        Node ids of each input are offset by the node counts of the
+        graphs before it, so the result's components are exactly the
+        inputs' components side by side — the standard way to build
+        multi-component serving/sharding test beds.
+        """
+        graphs = list(graphs)
+        require(len(graphs) >= 1, "disjoint_union needs at least one graph")
+        offsets = np.concatenate(
+            [[0], np.cumsum([g.num_nodes for g in graphs])]
+        )
+        heads = np.concatenate(
+            [g.heads + offsets[i] for i, g in enumerate(graphs)]
+        )
+        tails = np.concatenate(
+            [g.tails + offsets[i] for i, g in enumerate(graphs)]
+        )
+        weights = np.concatenate([g.weights for g in graphs])
+        return cls(int(offsets[-1]), heads, tails, weights)
+
     # ------------------------------------------------------------------
     # Basic properties
     # ------------------------------------------------------------------

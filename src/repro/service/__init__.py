@@ -1,16 +1,67 @@
-"""Query-serving layer on top of the effective-resistance engines.
+"""Query-serving layer — planner/executor architecture over the engines.
 
-:class:`~repro.service.resistance_service.ResistanceService` owns a built
-engine (Alg. 3 by default), answers batched pair queries through an LRU
-result cache plus an LRU cache of hot ``Z̃`` columns, ranks edges by
-spanning-edge centrality, and supports in-place refresh after graph edits —
-the building block the ROADMAP's sharding/async work composes on.
+The serving stack answers effective-resistance traffic in three layers,
+each usable on its own:
+
+* :class:`~repro.service.planner.QueryPlanner` partitions one pair batch
+  into trivially-answerable slices (``p == q``, cross-component),
+  cache-resolvable pairs, and independent engine-bound
+  :class:`~repro.service.planner.SubBatch` objects — one per component
+  shard for a :class:`~repro.core.sharded.ShardedEngine`;
+* :class:`~repro.service.executor.Executor` strategies run those
+  sub-batches: :class:`~repro.service.executor.SerialExecutor` in the
+  calling thread (default) or
+  :class:`~repro.service.executor.ThreadedExecutor` fanning shards out
+  over a thread pool, with results bit-identical either way;
+* :class:`~repro.service.resistance_service.ResistanceService` owns a
+  built engine plus locked LRU caches (pair results, hot ``Z̃`` columns),
+  drives plan → execute → scatter for ``query``/``query_pairs``, ranks
+  edges by spanning-edge centrality, refreshes in place after graph edits,
+  and reports per-batch :class:`~repro.service.resistance_service.BatchReport`
+  accounting; everything is thread-safe, and node ids are validated at
+  this boundary.
+
+On top sits :class:`~repro.service.async_service.AsyncResistanceService`:
+``submit(pairs) -> Future`` / ``await aquery_pairs(...)`` with a
+micro-batching loop that coalesces concurrent small requests into one
+planned batch per window — so a fleet of callers shares dedup, cache
+probes and the parallel shard fan-out.  Engine persistence integrates via
+:meth:`ResistanceService.from_saved` (``mmap=True`` maps the saved factor
+so co-located workers share pages).
+
+Still open (ROADMAP): sharding *within* a component, and process-backed
+executors for GIL-free fan-out.
 """
 
+from repro.service.async_service import AsyncResistanceService, AsyncServiceStats
+from repro.service.executor import (
+    Executor,
+    SerialExecutor,
+    ThreadedExecutor,
+    make_executor,
+)
+from repro.service.planner import QueryPlan, QueryPlanner, SubBatch
 from repro.service.resistance_service import (
+    BatchReport,
     RefreshStats,
     ResistanceService,
     ServiceStats,
+    SubBatchTiming,
 )
 
-__all__ = ["ResistanceService", "ServiceStats", "RefreshStats"]
+__all__ = [
+    "ResistanceService",
+    "ServiceStats",
+    "RefreshStats",
+    "BatchReport",
+    "SubBatchTiming",
+    "AsyncResistanceService",
+    "AsyncServiceStats",
+    "QueryPlanner",
+    "QueryPlan",
+    "SubBatch",
+    "Executor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "make_executor",
+]

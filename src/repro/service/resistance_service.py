@@ -1,33 +1,38 @@
-"""``ResistanceService`` — a cached, refreshable query front-end.
+"""``ResistanceService`` — a cached, thread-safe query front-end.
 
 The engines in :mod:`repro.core.effective_resistance` are one-shot: build,
 query, throw away.  Serving traffic needs a layer that (a) amortises the
 build across millions of queries, (b) exploits the heavy skew of real query
 streams (hot pairs, hot vertices) with caches, and (c) survives graph edits
-without a caller-visible rebuild dance.  ``ResistanceService`` provides:
+without a caller-visible rebuild dance.  Since the planner/executor
+redesign, every batch flows through the same three stages:
 
-* ``query`` / ``query_pairs`` — batched pair queries through an LRU result
-  cache; misses are answered by one vectorised engine call;
-* a column LRU holding hot ``Z̃`` columns so single-pair queries on popular
-  vertices skip sparse-matrix slicing entirely (Alg. 3 engines only);
-* ``top_k_central_edges`` — spanning-edge centrality ranking (WWW'15
-  application) with the all-edge resistance vector cached;
-* ``refresh_after_edge_update`` — rebuild the engine for an edited graph
-  (same configuration), invalidate every cache, and report timings; used by
-  the incremental design flow in :mod:`repro.apps.incremental`.
+1. :class:`~repro.service.planner.QueryPlanner` canonicalises and
+   deduplicates the batch (one ``np.unique`` over packed pair codes),
+   resolves the trivial slices (``p == q`` → 0.0, cross-component → ``inf``)
+   from the component labels, and probes the locked result LRU;
+2. an :class:`~repro.service.executor.Executor` runs the remaining
+   sub-batches — per shard for a component-sharded engine — serially by
+   default or concurrently with :class:`~repro.service.executor.ThreadedExecutor`;
+3. the plan scatters sub-batch results, fills the cache, and gathers the
+   caller-ordered answers; a :class:`BatchReport` records the hit/miss
+   split and per-sub-batch timings.
 
-The service is deliberately engine-agnostic: it dispatches through the
-engine registry (:mod:`repro.core.engine`), so any registered engine —
-``"cholinv"`` (default), ``"exact"``, the baselines, or a component-sharded
-composite (``EngineConfig(sharded=True)``) — can serve traffic, and the
-regression suite runs the same behavioural checks across engines.  Built
-``cholinv`` engines persist to disk (:mod:`repro.core.persistence`);
-:meth:`ResistanceService.from_saved` warm-starts a worker from such a file
-without refactoring.
+``query``/``query_pairs`` keep their original signatures on top of that
+path, and all caches, stats and the hot-column LRU are lock-protected so
+many threads (or the micro-batching loop of
+:class:`~repro.service.async_service.AsyncResistanceService`) can share one
+service.  Node ids are validated at this boundary: out-of-range ids raise a
+``ValueError`` naming the offender instead of an ``IndexError`` deep inside
+an engine.  Built ``cholinv`` engines persist to disk
+(:mod:`repro.core.persistence`); :meth:`ResistanceService.from_saved`
+warm-starts a worker from such a file — with ``mmap=True`` the factor
+arrays are memory-mapped so many workers on one host share pages.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -37,17 +42,28 @@ import numpy as np
 from repro.core.effective_resistance import CholInvEffectiveResistance
 from repro.core.engine import (
     EngineConfig,
+    ResistanceEngine,
     as_pair_array,
     build_engine,
     config_from_kwargs,
+    validate_node_ids,
 )
 from repro.graphs.graph import Graph
+from repro.service.executor import Executor, SerialExecutor
+from repro.service.planner import QueryPlanner
 from repro.utils.validation import require
 
 
 @dataclass
 class ServiceStats:
-    """Counters a service accumulates over its lifetime."""
+    """Counters a service accumulates over its lifetime.
+
+    ``result_hits`` counts request rows answered from the result LRU;
+    ``result_misses`` counts *distinct* pairs sent to the engine (a
+    deduplicated batch of 100 copies of one cold pair is 1 miss).  All
+    counters are updated under the service lock, so they stay consistent
+    however many threads share the service.
+    """
 
     queries: int = 0
     result_hits: int = 0
@@ -55,6 +71,7 @@ class ServiceStats:
     column_hits: int = 0
     column_misses: int = 0
     refreshes: int = 0
+    batches: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -75,33 +92,93 @@ class RefreshStats:
 
 
 @dataclass
+class SubBatchTiming:
+    """How long one engine-bound sub-batch of a planned batch took."""
+
+    shard_id: "int | None"
+    num_pairs: int
+    seconds: float
+
+
+@dataclass
+class BatchReport:
+    """Per-request accounting of one planned/executed pair batch."""
+
+    num_queries: int = 0
+    trivial_rows: int = 0        # p == q and cross-component rows
+    cache_hit_rows: int = 0
+    unique_misses: int = 0       # distinct pairs the engine answered
+    executor: str = "serial"
+    plan_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    total_seconds: float = 0.0
+    subbatch_timings: "list[SubBatchTiming]" = field(default_factory=list)
+
+    @property
+    def shards_touched(self) -> int:
+        return len({t.shard_id for t in self.subbatch_timings})
+
+
+@dataclass
 class _LRU:
-    """Tiny ordered-dict LRU; values are opaque to the service."""
+    """Ordered-dict LRU; thread-safe, values opaque to the service.
+
+    Batch traffic goes through :meth:`get_many`/:meth:`put_many` — one
+    lock acquisition per batch instead of one per pair.  ``put_many``
+    takes an optional ``still_valid`` predicate evaluated *under the
+    lock*, which is how the service fences in-flight results out of a
+    cache that a concurrent refresh has invalidated (the refresh bumps
+    its epoch before clearing, and clearing acquires this same lock, so
+    a stale writer either inserts before the clear — and is wiped by it
+    — or observes the bumped epoch and backs off).
+    """
 
     capacity: int
     data: "OrderedDict" = field(default_factory=OrderedDict)
+    lock: threading.Lock = field(default_factory=threading.Lock)
 
     def get(self, key):
-        value = self.data.get(key)
-        if value is not None or key in self.data:
-            self.data.move_to_end(key)
-        return value
+        with self.lock:
+            value = self.data.get(key)
+            if value is not None or key in self.data:
+                self.data.move_to_end(key)
+            return value
 
-    def put(self, key, value) -> None:
-        self.data[key] = value
-        self.data.move_to_end(key)
-        while len(self.data) > self.capacity:
-            self.data.popitem(last=False)
+    def get_many(self, keys) -> list:
+        """Values for ``keys`` (``None`` where missing), one lock hold."""
+        out = []
+        with self.lock:
+            for key in keys:
+                value = self.data.get(key)
+                if value is not None or key in self.data:
+                    self.data.move_to_end(key)
+                out.append(value)
+        return out
+
+    def put(self, key, value, still_valid=None) -> None:
+        self.put_many([(key, value)], still_valid)
+
+    def put_many(self, items, still_valid=None) -> None:
+        with self.lock:
+            if still_valid is not None and not still_valid():
+                return
+            for key, value in items:
+                self.data[key] = value
+                self.data.move_to_end(key)
+            while len(self.data) > self.capacity:
+                self.data.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self.data)
+        with self.lock:
+            return len(self.data)
 
     def clear(self) -> None:
-        self.data.clear()
+        with self.lock:
+            self.data.clear()
 
 
 class ResistanceService:
-    """Long-lived, cached effective-resistance query service.
+    """Long-lived, cached, thread-safe effective-resistance query service.
 
     Parameters
     ----------
@@ -118,6 +195,14 @@ class ResistanceService:
     config:
         Full :class:`~repro.core.engine.EngineConfig`; overrides
         ``method``/``engine_kwargs`` when given.
+    executor:
+        :class:`~repro.service.executor.Executor` running the planned
+        sub-batches; default :class:`~repro.service.executor.SerialExecutor`.
+        Pass a :class:`~repro.service.executor.ThreadedExecutor` to fan a
+        sharded engine's per-component sub-batches out in parallel.
+    max_task_pairs:
+        Split engine-bound sub-batches larger than this so a threaded
+        executor can balance them (default: no splitting).
     engine_kwargs:
         Legacy engine parameters (``epsilon``, ``drop_tol``, …), folded
         into an ``EngineConfig`` and used on every (re)build.
@@ -130,6 +215,8 @@ class ResistanceService:
         result_cache_size: int = 65536,
         column_cache_size: int = 4096,
         config: "EngineConfig | None" = None,
+        executor: "Executor | None" = None,
+        max_task_pairs: "int | None" = None,
         **engine_kwargs,
     ):
         if config is None:
@@ -141,7 +228,9 @@ class ResistanceService:
                 f"method {method!r} conflicts with config.method "
                 f"{config.method!r}"
             )
-        self._init_state(config, result_cache_size, column_cache_size)
+        self._init_state(
+            config, result_cache_size, column_cache_size, executor, max_task_pairs
+        )
         self._build(graph)
 
     def _init_state(
@@ -149,14 +238,31 @@ class ResistanceService:
         config: EngineConfig,
         result_cache_size: int,
         column_cache_size: int,
+        executor: "Executor | None" = None,
+        max_task_pairs: "int | None" = None,
     ) -> None:
         require(result_cache_size >= 0, "result_cache_size must be >= 0")
         require(column_cache_size >= 0, "column_cache_size must be >= 0")
+        require(
+            max_task_pairs is None or max_task_pairs >= 1,
+            "max_task_pairs must be >= 1",
+        )
         self.config = config
         self.stats = ServiceStats()
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.max_task_pairs = max_task_pairs
+        self.last_report: "BatchReport | None" = None
         self._results = _LRU(result_cache_size)
         self._columns = _LRU(column_cache_size)
         self._edge_resistances: "np.ndarray | None" = None
+        self._lock = threading.Lock()          # stats + engine swap
+        self._refresh_lock = threading.Lock()  # serialises rebuilds
+        self._edge_lock = threading.Lock()     # all_edge_resistances memo
+        # bumped on every refresh; cache writes carry the epoch they were
+        # computed under and are dropped if a refresh intervened, so an
+        # in-flight query can never poison a freshly invalidated cache
+        # with old-engine values
+        self._epoch = 0
 
     @property
     def method(self) -> str:
@@ -164,26 +270,62 @@ class ResistanceService:
         return self.config.method
 
     @classmethod
+    def from_engine(
+        cls,
+        engine: ResistanceEngine,
+        result_cache_size: int = 65536,
+        column_cache_size: int = 4096,
+        executor: "Executor | None" = None,
+        max_task_pairs: "int | None" = None,
+    ) -> "ResistanceService":
+        """Serve an already-built engine (skips the build entirely).
+
+        Lets several services — e.g. a serial one and a thread-fanned one
+        in a benchmark, or one per worker thread pool — share one expensive
+        factorisation.  The engine must carry a ``config`` (engines from
+        :func:`~repro.core.engine.build_engine` and
+        :func:`~repro.core.persistence.load_engine` do) so refreshes know
+        how to rebuild.
+        """
+        require(
+            engine.config is not None,
+            "engine has no config attached; build it through build_engine()",
+        )
+        service = cls.__new__(cls)
+        service._init_state(
+            engine.config, result_cache_size, column_cache_size,
+            executor, max_task_pairs,
+        )
+        service.engine = engine
+        service.graph = engine.graph
+        return service
+
+    @classmethod
     def from_saved(
         cls,
         path,
         result_cache_size: int = 65536,
         column_cache_size: int = 4096,
+        mmap: bool = False,
+        executor: "Executor | None" = None,
+        max_task_pairs: "int | None" = None,
     ) -> "ResistanceService":
         """Warm-start a service from an engine persisted with ``save()``.
 
         The expensive build is skipped entirely: the engine state (``Z̃``,
         permutation, norms, labels, graph, config) comes off disk, and
         later :meth:`refresh_after_edge_update` calls rebuild with the
-        saved configuration.
+        saved configuration.  With ``mmap=True`` the large arrays are
+        memory-mapped read-only, so many worker processes on one host share
+        the physical pages instead of each loading a private copy.
         """
         from repro.core.persistence import load_engine
 
-        engine = load_engine(path)
-        service = cls.__new__(cls)
-        service._init_state(engine.config, result_cache_size, column_cache_size)
-        service.engine = engine
-        service.graph = engine.graph
+        engine = load_engine(path, mmap=mmap)
+        service = cls.from_engine(
+            engine, result_cache_size, column_cache_size,
+            executor, max_task_pairs,
+        )
         return service
 
     # ------------------------------------------------------------------
@@ -207,43 +349,60 @@ class ResistanceService:
         array) with matching ``weights`` to add on top of the current graph
         — parallel occurrences coalesce, so adding an existing edge *adds
         conductance* exactly like wiring a resistor in parallel.
+
+        Thread-safe: refreshes serialise among themselves, and queries in
+        flight finish against the engine they started with — cache
+        entries are epoch-stamped, so an overlapping query neither reads
+        another engine's values nor leaves its own (or a hot column keyed
+        by the old permutation) behind in a post-refresh cache; the
+        engine swap and cache invalidation happen atomically.
         """
-        if graph is None:
-            require(edges is not None, "pass either graph or edges")
-            edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
-            new_weights = (
-                np.ones(edges.shape[0])
-                if weights is None
-                else np.asarray(weights, dtype=np.float64).ravel()
+        with self._refresh_lock:
+            if graph is None:
+                require(edges is not None, "pass either graph or edges")
+                edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+                new_weights = (
+                    np.ones(edges.shape[0])
+                    if weights is None
+                    else np.asarray(weights, dtype=np.float64).ravel()
+                )
+                require(
+                    new_weights.shape[0] == edges.shape[0],
+                    f"weights length {new_weights.shape[0]} does not match "
+                    f"{edges.shape[0]} edges",
+                )
+                graph = Graph(
+                    self.graph.num_nodes,
+                    np.concatenate([self.graph.heads, edges[:, 0]]),
+                    np.concatenate([self.graph.tails, edges[:, 1]]),
+                    np.concatenate([self.graph.weights, new_weights]),
+                ).coalesce()
+            else:
+                require(edges is None and weights is None,
+                        "pass either graph or edges, not both")
+            # build first — the old engine keeps serving meanwhile —
+            # then swap + bump + invalidate atomically
+            start = time.perf_counter()
+            new_engine = build_engine(graph, self.config)
+            rebuild = time.perf_counter() - start
+            with self._lock:
+                self.engine = new_engine
+                self.graph = graph
+                self._epoch += 1
+                invalidated_results = len(self._results)
+                invalidated_columns = len(self._columns)
+                self._results.clear()
+                self._columns.clear()
+                self.stats.refreshes += 1
+            with self._edge_lock:
+                self._edge_resistances = None
+            return RefreshStats(
+                rebuild_seconds=rebuild,
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+                invalidated_results=invalidated_results,
+                invalidated_columns=invalidated_columns,
             )
-            require(
-                new_weights.shape[0] == edges.shape[0],
-                f"weights length {new_weights.shape[0]} does not match "
-                f"{edges.shape[0]} edges",
-            )
-            graph = Graph(
-                self.graph.num_nodes,
-                np.concatenate([self.graph.heads, edges[:, 0]]),
-                np.concatenate([self.graph.tails, edges[:, 1]]),
-                np.concatenate([self.graph.weights, new_weights]),
-            ).coalesce()
-        else:
-            require(edges is None and weights is None,
-                    "pass either graph or edges, not both")
-        invalidated_results = len(self._results)
-        invalidated_columns = len(self._columns)
-        self._results.clear()
-        self._columns.clear()
-        self._edge_resistances = None
-        rebuild = self._build(graph)
-        self.stats.refreshes += 1
-        return RefreshStats(
-            rebuild_seconds=rebuild,
-            num_nodes=graph.num_nodes,
-            num_edges=graph.num_edges,
-            invalidated_results=invalidated_results,
-            invalidated_columns=invalidated_columns,
-        )
 
     # ------------------------------------------------------------------
     # queries
@@ -251,67 +410,121 @@ class ResistanceService:
     def query(self, p: int, q: int) -> float:
         """Effective resistance between ``p`` and ``q`` (cached)."""
         p, q = int(p), int(q)
-        self.stats.queries += 1
+        with self._lock:  # engine + epoch swap together; read them together
+            engine = self.engine
+            epoch = self._epoch
+        # validate against the snapshot, before any accounting, so a bad
+        # id fails cleanly even if a refresh shrank the graph meanwhile
+        validate_node_ids((p, q), engine.n)
+        with self._lock:
+            self.stats.queries += 1
         if p == q:
             return 0.0
         key = (p, q) if p < q else (q, p)
-        cached = self._results.get(key)
-        if cached is not None:
-            self.stats.result_hits += 1
-            return cached
-        self.stats.result_misses += 1
-        value = self._answer_single(key[0], key[1])
-        self._results.put(key, value)
+        entry = self._results.get(key)
+        if entry is not None and entry[0] == epoch:
+            with self._lock:
+                self.stats.result_hits += 1
+            return entry[1]
+        with self._lock:
+            self.stats.result_misses += 1
+        value = self._answer_single(engine, epoch, key[0], key[1])
+        self._results.put(
+            key, (epoch, value), still_valid=lambda: self._epoch == epoch
+        )
         return value
 
     def query_pairs(self, pairs) -> np.ndarray:
         """Effective resistances for an ``(m, 2)`` array of node pairs.
 
-        Cached pairs are answered from the LRU; all misses go to the engine
-        in one vectorised call (deduplicated first).
+        Runs the full planner/executor path; see
+        :meth:`query_pairs_with_report` for the per-batch accounting.
         """
-        arr = as_pair_array(pairs)
-        m = arr.shape[0]
-        if m == 0:
-            return np.empty(0)
-        self.stats.queries += m
-        lo = np.minimum(arr[:, 0], arr[:, 1])
-        hi = np.maximum(arr[:, 0], arr[:, 1])
-        out = np.zeros(m)
-        get = self._results.get
-        missing: "dict[tuple[int, int], list[int]]" = {}
-        for i in range(m):
-            a, b = int(lo[i]), int(hi[i])
-            if a == b:
-                continue
-            cached = get((a, b))
-            if cached is not None:
-                out[i] = cached
-                self.stats.result_hits += 1
-            else:
-                missing.setdefault((a, b), []).append(i)
-        if missing:
-            self.stats.result_misses += len(missing)
-            keys = np.array(list(missing.keys()), dtype=np.int64)
-            values = self.engine.query_pairs(keys)
-            put = self._results.put
-            for (key, slots), value in zip(missing.items(), values):
-                value = float(value)
-                put(key, value)
-                for i in slots:
-                    out[i] = value
-        return out
+        values, _ = self.query_pairs_with_report(pairs)
+        return values
 
-    def _answer_single(self, p: int, q: int) -> float:
+    def query_pairs_with_report(
+        self, pairs
+    ) -> "tuple[np.ndarray, BatchReport]":
+        """Answer a pair batch and report how it was served.
+
+        The batch is planned (canonicalise → dedup → trivial slices →
+        cache probe), the remaining sub-batches run on the configured
+        executor (in parallel for a sharded engine with a
+        :class:`~repro.service.executor.ThreadedExecutor`), results are
+        scattered back and cached.  The returned
+        :class:`BatchReport` carries the hit/miss split and per-sub-batch
+        timings for this request alone.
+        """
+        t_start = time.perf_counter()
+        arr = as_pair_array(pairs)
+        with self._lock:  # engine + epoch swap together; read them together
+            engine = self.engine
+            epoch = self._epoch
+        # validate against the snapshot, so ids stay in range for the
+        # exact engine this batch runs on even if a refresh races us
+        validate_node_ids(arr, engine.n)
+        report = BatchReport(num_queries=arr.shape[0], executor=self.executor.name)
+        if arr.shape[0] == 0:
+            self.last_report = report
+            return np.empty(0), report
+        plan = QueryPlanner(engine).plan(arr)
+        # cached entries are (epoch, value); only same-epoch values may
+        # resolve this batch, so one batch never mixes two engines
+        plan.resolve_from_cache(
+            lambda keys: [
+                entry[1] if entry is not None and entry[0] == epoch else None
+                for entry in self._results.get_many(keys)
+            ]
+        )
+        subbatches = plan.build_subbatches(self.max_task_pairs)
+        report.trivial_rows = plan.trivial_rows
+        report.cache_hit_rows = plan.cache_hit_rows
+        report.unique_misses = sum(s.num_pairs for s in subbatches)
+        report.plan_seconds = time.perf_counter() - t_start
+        with self._lock:
+            self.stats.queries += report.num_queries
+            self.stats.result_hits += report.cache_hit_rows
+            self.stats.result_misses += report.unique_misses
+            self.stats.batches += 1
+
+        if subbatches:
+            t_exec = time.perf_counter()
+
+            def run(subbatch):
+                t0 = time.perf_counter()
+                values = plan.execute_subbatch(subbatch)
+                return values, time.perf_counter() - t0
+
+            results = self.executor.map(run, subbatches)
+            report.execute_seconds = time.perf_counter() - t_exec
+            cache_fill = []
+            for subbatch, (values, seconds) in zip(subbatches, results):
+                plan.scatter(subbatch, values)
+                report.subbatch_timings.append(
+                    SubBatchTiming(subbatch.shard_id, subbatch.num_pairs, seconds)
+                )
+                cache_fill.extend(
+                    (key, (epoch, value))
+                    for key, value in plan.miss_items(subbatch)
+                )
+            self._results.put_many(
+                cache_fill, still_valid=lambda: self._epoch == epoch
+            )
+        out = plan.gather()
+        report.total_seconds = time.perf_counter() - t_start
+        self.last_report = report
+        return out, report
+
+    def _answer_single(self, engine, epoch, p: int, q: int) -> float:
         """One uncached pair — via hot columns for Alg. 3, engine otherwise."""
-        engine = self.engine
         if isinstance(engine, CholInvEffectiveResistance):
             if engine.component_labels[p] != engine.component_labels[q]:
                 return float("inf")
             cp = engine._position[p]
             cq = engine._position[q]
-            rows_p, vals_p = self._column(int(cp))
-            rows_q, vals_q = self._column(int(cq))
+            rows_p, vals_p = self._column(engine, epoch, int(cp))
+            rows_q, vals_q = self._column(engine, epoch, int(cq))
             # dot of two sorted sparse columns via index intersection
             common, ip, iq = np.intersect1d(
                 rows_p, rows_q, assume_unique=True, return_indices=True
@@ -322,17 +535,28 @@ class ResistanceService:
             return max(float(norms[cp] + norms[cq] - 2.0 * dot), 0.0)
         return float(engine.query_pairs([(p, q)])[0])
 
-    def _column(self, j: int) -> "tuple[np.ndarray, np.ndarray]":
-        """Hot-column cache: (rows, values) of permuted ``Z̃`` column ``j``."""
-        cached = self._columns.get(j)
+    def _column(self, engine, epoch, j: int) -> "tuple[np.ndarray, np.ndarray]":
+        """Hot-column cache: (rows, values) of permuted ``Z̃`` column ``j``.
+
+        A column is meaningful only together with the norms and
+        permutation of the engine it was sliced from, so the cache key
+        carries the epoch: a query in flight across a refresh can
+        neither read a newer engine's column nor leave its own behind
+        for newer queries (the write fence drops post-refresh inserts,
+        and cross-epoch keys never collide).
+        """
+        key = (epoch, j)
+        cached = self._columns.get(key)
         if cached is not None:
-            self.stats.column_hits += 1
+            with self._lock:
+                self.stats.column_hits += 1
             return cached
-        self.stats.column_misses += 1
-        z = self.engine.z_tilde
+        with self._lock:
+            self.stats.column_misses += 1
+        z = engine.z_tilde
         start, end = z.indptr[j], z.indptr[j + 1]
         column = (z.indices[start:end], z.data[start:end])
-        self._columns.put(j, column)
+        self._columns.put(key, column, still_valid=lambda: self._epoch == epoch)
         return column
 
     # ------------------------------------------------------------------
@@ -340,9 +564,12 @@ class ResistanceService:
     # ------------------------------------------------------------------
     def all_edge_resistances(self) -> np.ndarray:
         """Effective resistance of every edge (cached after the first call)."""
-        if self._edge_resistances is None:
-            self._edge_resistances = self.engine.query_pairs(self.graph.edge_array())
-        return self._edge_resistances
+        with self._edge_lock:
+            if self._edge_resistances is None:
+                self._edge_resistances = self.engine.query_pairs(
+                    self.graph.edge_array()
+                )
+            return self._edge_resistances
 
     def top_k_central_edges(self, k: int) -> "tuple[np.ndarray, np.ndarray]":
         """The ``k`` edges with the highest spanning-edge centrality.

@@ -9,6 +9,7 @@ numbers.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -17,6 +18,11 @@ from dataclasses import dataclass, field
 @dataclass
 class Timer:
     """Accumulate named wall-clock timings.
+
+    Accumulation is lock-protected, so engines queried from several
+    threads (the serving layer's executor fan-out) never lose an
+    increment; overlapping sections still *sum* their wall-clock, so a
+    section worked by k threads at once counts k-fold.
 
     Example
     -------
@@ -28,6 +34,9 @@ class Timer:
     """
 
     times: dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @contextmanager
     def section(self, name: str):
@@ -37,7 +46,8 @@ class Timer:
             yield self
         finally:
             elapsed = time.perf_counter() - start
-            self.times[name] = self.times.get(name, 0.0) + elapsed
+            with self._lock:
+                self.times[name] = self.times.get(name, 0.0) + elapsed
 
     @property
     def total(self) -> float:

@@ -117,6 +117,25 @@ class TestService:
     def test_nothing_to_do(self, capsys):
         assert main(["service", "--generator", "grid2d:4x4"]) == 1
 
+    def test_workers_fan_out_same_answers(self, capsys):
+        main(["service", "--generator", "grid2d:5x5", "--pairs", "0,24", "3,9"])
+        serial = capsys.readouterr().out.splitlines()[1:3]
+        code = main(["service", "--generator", "grid2d:5x5", "--sharded",
+                     "--workers", "3", "--pairs", "0,24", "3,9"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines()[1:3] == serial
+        assert "3 worker(s)" in captured.err
+
+    def test_batch_window_micro_batches(self, capsys):
+        code = main(["service", "--generator", "grid2d:5x5",
+                     "--batch-window", "0.05", "--repeat", "4",
+                     "--pairs", "0,24", "0,1"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "micro-batching: 4 requests coalesced" in captured.err
+        assert "0,24," in captured.out
+
     def test_warm_start_from_saved_engine(self, tmp_path, capsys):
         engine_path = tmp_path / "warm.npz"
         main(["service", "--generator", "grid2d:6x6", "--pairs", "0,35",
