@@ -6,13 +6,17 @@ and overall complexity O(n log n · log log n) — the basis of the paper's
 
 * the measured C = nnz(Z̃)/(n log n) stays bounded (no upward drift);
 * runtime grows sub-quadratically (doubling n far less than 4X time).
+
+Besides the rendered table, the run writes ``BENCH_scaling.json`` (one row
+per size: n, m, nnz, per-stage wall time, workers) so CI artifacts record
+the scaling trajectory machine-readably across commits.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.conftest import emit, full_scale
+from benchmarks.conftest import emit, emit_json, full_scale
 from repro.bench.reporting import format_table
 from repro.core.effective_resistance import CholInvEffectiveResistance
 from repro.graphs.generators import grid_2d
@@ -27,9 +31,11 @@ def _sizes():
 
 def test_nnz_and_time_scale_like_nlogn(benchmark, bench_out_dir):
     rows = []
+    records = []
 
     def run():
         rows.clear()
+        records.clear()
         for rows_n, cols_n in _sizes():
             graph = grid_2d(rows_n, cols_n, jitter=0.3, seed=5)
             with timed() as elapsed:
@@ -42,6 +48,19 @@ def test_nnz_and_time_scale_like_nlogn(benchmark, bench_out_dir):
                 [n, graph.num_edges, est.stats.nnz, est.stats.nnz_per_nlogn,
                  est.max_depth, elapsed()]
             )
+            records.append({
+                "nodes": n,
+                "edges": int(graph.num_edges),
+                "nnz_z": int(est.stats.nnz),
+                "nnz_per_nlogn": float(est.stats.nnz_per_nlogn),
+                "max_depth": int(est.max_depth),
+                "workers": int(est.build_workers),
+                "stage_seconds": {
+                    stage: float(seconds)
+                    for stage, seconds in est.timer.times.items()
+                },
+                "total_seconds": float(elapsed()),
+            })
         return rows
 
     benchmark.pedantic(run, iterations=1, rounds=1)
@@ -64,3 +83,7 @@ def test_nnz_and_time_scale_like_nlogn(benchmark, bench_out_dir):
         title="E5 — nnz(Z̃) and runtime scaling (paper: C < 20, ~n log n)",
     )
     emit(bench_out_dir, "scaling", table + f"\nfitted time exponent: {slope:.2f}")
+    emit_json(bench_out_dir, "scaling", {
+        "fitted_time_exponent": float(slope),
+        "sizes": records,
+    })

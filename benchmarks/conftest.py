@@ -6,11 +6,17 @@ set ``REPRO_BENCH_FULL=1`` for the larger configurations.
 
 Rendered tables are printed *and* written to ``benchmarks/out/`` so the
 paper-vs-measured record in EXPERIMENTS.md can be refreshed from a run.
+Machine-readable records land next to them as ``BENCH_<name>.json``
+(:func:`emit_json`) — one self-describing JSON object per bench, with the
+host context attached, so CI artifacts accumulate a comparable trajectory
+of measurements across commits.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from pathlib import Path
 
 import pytest
@@ -35,3 +41,32 @@ def emit(out_dir: Path, name: str, text: str) -> None:
     print()
     print(text)
     (out_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def host_context() -> dict:
+    """Host facts every ``BENCH_*.json`` record carries for comparability."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "full_scale": full_scale(),
+    }
+
+
+def emit_json(out_dir: Path, name: str, record: dict) -> Path:
+    """Write one machine-readable bench record as ``BENCH_<name>.json``.
+
+    The record is augmented with :func:`host_context` under ``"host"``;
+    CI uploads every ``BENCH_*.json`` as an artifact, forming the bench
+    trajectory across commits.
+    """
+    out_dir.mkdir(exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    payload = dict(record)
+    payload.setdefault("bench", name)
+    payload.setdefault("host", host_context())
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+    return path

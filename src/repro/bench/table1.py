@@ -62,6 +62,7 @@ def run_table1_case(
     error_samples: int = 1000,
     seed: int = 0,
     run_baseline: bool = True,
+    build_workers: int = 1,
 ) -> Table1Row:
     """Execute the full Table I protocol for one case.
 
@@ -69,7 +70,9 @@ def run_table1_case(
     the paper's reported ``nnz(Q)/(n log n)`` ratios imply ``c ≈ 100–340``,
     so the default 50 *favours the baseline* and measured speedups are
     conservative.  ``baseline_solver="pcg"`` is the faithful stand-in for
-    the CMG iterative solver the WWW'15 code uses.
+    the CMG iterative solver the WWW'15 code uses.  ``build_workers``
+    parallelises the Alg. 3 engine build (bit-identical results, so the
+    error columns cannot move — only ``T`` does).
     """
     graph = case.builder()
     exact = build_engine(graph, case.engine.replace(method="exact"))
@@ -77,7 +80,7 @@ def run_table1_case(
     with timed() as elapsed:
         alg3 = build_engine(graph, case.engine.replace(
             method="cholinv", epsilon=epsilon, drop_tol=drop_tol,
-            ordering=ordering,
+            ordering=ordering, build_workers=build_workers,
         ))
         alg3.all_edge_resistances()
     alg3_time = elapsed()

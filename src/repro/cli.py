@@ -59,6 +59,7 @@ def _engine_config(args):
         method=args.method, epsilon=args.epsilon, drop_tol=args.drop_tol,
         ordering=args.ordering, mode=args.mode, seed=args.seed,
         sharded=args.sharded, lazy_shards=args.lazy_shards,
+        build_workers=args.build_workers,
     )
 
 
@@ -260,7 +261,10 @@ def cmd_table1(args) -> int:
     if args.case not in TABLE1_CASES:
         raise SystemExit(f"unknown case; choose from {', '.join(TABLE1_CASES)}")
     case = TABLE1_CASES[args.case]
-    row = run_table1_case(case, seed=args.seed, run_baseline=not args.skip_baseline)
+    row = run_table1_case(
+        case, seed=args.seed, run_baseline=not args.skip_baseline,
+        build_workers=args.build_workers,
+    )
     print(render_table1([row], TABLE1_CASES))
     return 0
 
@@ -312,6 +316,12 @@ def _add_graph_engine_arguments(parser) -> None:
                         help="one sub-engine per connected component")
     parser.add_argument("--lazy-shards", dest="lazy_shards", action="store_true",
                         help="with --sharded, build each shard on first query")
+    parser.add_argument("--build-workers", dest="build_workers", type=int,
+                        default=1, metavar="N",
+                        help="threads used to build the engine: large Alg. 2 "
+                             "levels split into parallel column chunks, and "
+                             "with --sharded the per-component builds fan "
+                             "out; results are bit-identical for any N")
     parser.add_argument("--save-engine", dest="save_engine", metavar="PATH",
                         help="persist the built engine to PATH (.npz)")
     parser.add_argument("--load-engine", dest="load_engine", metavar="PATH",
@@ -381,6 +391,10 @@ def build_parser() -> argparse.ArgumentParser:
     t1.add_argument("--case", default="fe-mesh-2d")
     t1.add_argument("--seed", type=int, default=0)
     t1.add_argument("--skip-baseline", action="store_true")
+    t1.add_argument("--build-workers", dest="build_workers", type=int,
+                    default=1, metavar="N",
+                    help="threads for the Alg. 3 engine build (bit-identical "
+                         "results for any N; T shrinks, errors do not move)")
     t1.set_defaults(func=cmd_table1)
 
     f1 = sub.add_parser("fig1", help="reproduce the Fig. 1 waveforms")

@@ -27,15 +27,39 @@ Kernels (the ``mode=`` knob)
     sort/scan.  The per-level work is a handful of numpy/scipy C calls, so
     the Python overhead is O(#levels) instead of O(n).
 
+``mode="blocked"`` + ``build_workers > 1``
+    Level-parallel variant of the blocked kernel.  Every large level is
+    split into contiguous *column chunks* whose boundaries depend only on
+    the level itself (target ``_CHUNK_TARGET_NNZ`` accumulated entries per
+    chunk, never on the worker count), and the chunks run on a thread pool
+    — scipy's sparsetools matmul releases the GIL, so chunks of one level
+    genuinely overlap.  Because serial and parallel runs execute the *same*
+    chunk list through the *same* floating-point code and commit chunks
+    into the :class:`_ColumnPool` in ascending column order, the result is
+    **bit-identical** for every worker count.
+
 ``mode="reference"``
     The original column-at-a-time loop, kept as the executable
     specification.  The regression suite cross-checks that both kernels
     produce the same ``Z̃`` (same pattern, values to rounding) on complete
-    and incomplete factors.
+    and incomplete factors.  ``build_workers`` is ignored here.
 
 Both kernels produce the same truncation decisions: the blocked path sorts
 magnitudes within each column with a stable key, exactly like
 :func:`repro.core.truncation.truncation_keep_mask` does per column.
+
+Cost model of the parallel path
+-------------------------------
+Three regimes, chosen per level: (1) tiny near-root levels run the scalar
+recurrence (the batched path's ~1 ms fixed cost dwarfs the work); (2)
+mid-size levels run as one batched chunk (chunking below
+``_CHUNK_TARGET_NNZ`` accumulated entries would pay the per-chunk matmul /
+truncation dispatch, ~0.3 ms, without enough work to amortise it); (3)
+levels whose dependency entry bound exceeds ``2 × _CHUNK_TARGET_NNZ``
+split into ``bound // _CHUNK_TARGET_NNZ`` chunks that a pool of
+``build_workers`` threads drains.  Only regime (3) fans out, so
+single-worker builds pay at most the (sub-percent) chunking overhead on
+the very largest levels and nothing anywhere else.
 
 Implementation notes
 --------------------
@@ -50,6 +74,7 @@ rebuild engines fast enough for online traffic.
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass
 
 import numpy as np
@@ -113,6 +138,7 @@ def approximate_inverse(
     epsilon: float = 1e-3,
     small_column_threshold: "float | None" = None,
     mode: str = "blocked",
+    build_workers: "int | None" = None,
 ) -> "tuple[sp.csc_matrix, ApproxInverseStats]":
     """Run Alg. 2 on the lower-triangular factor ``lower``.
 
@@ -133,6 +159,11 @@ def approximate_inverse(
         ``"blocked"`` (default) for the level-scheduled batched kernel,
         ``"reference"`` for the original column-at-a-time loop (see module
         docstring).
+    build_workers:
+        Threads for the level-parallel blocked kernel (``None``/``1`` =
+        serial).  Chunk boundaries never depend on the worker count, so
+        every value produces a bit-identical ``Z̃``.  Ignored by
+        ``mode="reference"``.
 
     Returns
     -------
@@ -145,13 +176,17 @@ def approximate_inverse(
         raise ValueError(f"epsilon must be >= 0, got {epsilon}")
     if mode not in _MODES:
         raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    workers = 1 if build_workers is None else int(build_workers)
+    if workers < 1:
+        raise ValueError(f"build_workers must be >= 1, got {build_workers}")
     csc = sp.csc_matrix(lower)
     csc.sort_indices()
     n = csc.shape[0]
     keep_whole_nnz = float(np.log(max(n, 2))) if small_column_threshold is None else float(small_column_threshold)
     diag = _validate_factor(csc)
-    kernel = _blocked_kernel if mode == "blocked" else _reference_kernel
-    return kernel(csc, diag, epsilon, keep_whole_nnz)
+    if mode == "blocked":
+        return _blocked_kernel(csc, diag, epsilon, keep_whole_nnz, workers=workers)
+    return _reference_kernel(csc, diag, epsilon, keep_whole_nnz)
 
 
 # ----------------------------------------------------------------------
@@ -284,8 +319,34 @@ _SCALAR_ENTRY_COST = 60e-9
 _BATCH_LEVEL_COST = 1.2e-3
 _BATCH_ENTRY_COST = 15e-9
 
+# target accumulated-entry bound per column chunk of a batched level.  The
+# boundaries are a pure function of the level (NOT of build_workers), so a
+# serial run executes the exact chunk list a parallel run fans out — which
+# is what makes the parallel kernel bit-identical to the serial one.  The
+# per-chunk dispatch (one matmat + one truncation call, ~0.3 ms) is <1% of
+# the work a chunk of this size carries.
+_CHUNK_TARGET_NNZ = 1 << 20
+
 # binade buckets used by the blocked truncation's crossing-binade search
 _BINADES = 64
+
+
+def _level_chunks(k: int, col_bound_prefix: np.ndarray) -> "list[tuple[int, int]]":
+    """Contiguous column ranges of a level, ≈``_CHUNK_TARGET_NNZ`` bound each.
+
+    ``col_bound_prefix`` holds the running dependency-entry bound per
+    column (length ``k + 1``).  Levels below twice the target stay whole;
+    larger levels split at bound-balanced column boundaries.  Boundaries
+    depend only on the level data, never on the worker count.
+    """
+    total = int(col_bound_prefix[-1])
+    pieces = min(total // _CHUNK_TARGET_NNZ, k)
+    if pieces < 2:
+        return [(0, k)]
+    targets = np.arange(1, pieces) * (total / pieces)
+    cuts = np.searchsorted(col_bound_prefix[1:], targets, side="left") + 1
+    cuts = np.unique(np.concatenate([[0], cuts, [k]]))
+    return list(zip(cuts[:-1].tolist(), cuts[1:].tolist()))
 
 
 def _scalar_level(
@@ -346,7 +407,11 @@ def _scalar_level(
 
 
 def _blocked_kernel(
-    csc: sp.csc_matrix, diag: np.ndarray, epsilon: float, keep_whole_nnz: float
+    csc: sp.csc_matrix,
+    diag: np.ndarray,
+    epsilon: float,
+    keep_whole_nnz: float,
+    workers: int = 1,
 ) -> "tuple[sp.csc_matrix, ApproxInverseStats]":
     n = csc.shape[0]
     indptr, indices, data = csc.indptr, csc.indices, csc.data
@@ -384,51 +449,93 @@ def _blocked_kernel(
     kept_whole = 0
     inv_diag = 1.0 / diag
     scratch = np.zeros(n)
+    executor: "concurrent.futures.ThreadPoolExecutor | None" = None
 
-    for level in range(num_levels):
-        cols = order[level_ptr[level]:level_ptr[level + 1]]  # ascending
-        k = cols.shape[0]
-        lo, hi = entry_ptr[level], entry_ptr[level + 1]
+    try:
+        for level in range(num_levels):
+            cols = order[level_ptr[level]:level_ptr[level + 1]]  # ascending
+            k = cols.shape[0]
+            lo, hi = entry_ptr[level], entry_ptr[level + 1]
 
-        # each output column is at most the sum of its dependencies' sizes —
-        # both an allocation bound and a flop estimate for the path choice
-        nnz_bound = int(pool.length[dep_rows[lo:hi]].sum())
-        scalar_cost = _SCALAR_COLUMN_COST * k + _SCALAR_ENTRY_COST * nnz_bound
-        if scalar_cost < _BATCH_LEVEL_COST + _BATCH_ENTRY_COST * nnz_bound:
-            # tiny level (near the etree roots): the fixed cost of the
-            # batched path dwarfs the work — run the scalar recurrence
-            truncated, whole = _scalar_level(
-                pool, scratch, cols, dep_rows[lo:hi], dep_cols[lo:hi],
-                dep_coeffs[lo:hi], inv_diag, epsilon, keep_whole_nnz,
-            )
-            truncated_count += truncated
-            kept_whole += whole
-            continue
+            # each output column is at most the sum of its dependencies'
+            # sizes — an allocation bound and a flop estimate for the path
+            # choice (the per-column prefix the chunker needs is only
+            # built once a level actually takes the batched path)
+            entry_bound = pool.length[dep_rows[lo:hi]]
+            nnz_bound = int(entry_bound.sum())
+            scalar_cost = _SCALAR_COLUMN_COST * k + _SCALAR_ENTRY_COST * nnz_bound
+            if scalar_cost < _BATCH_LEVEL_COST + _BATCH_ENTRY_COST * nnz_bound:
+                # tiny level (near the etree roots): the fixed cost of the
+                # batched path dwarfs the work — run the scalar recurrence
+                truncated, whole = _scalar_level(
+                    pool, scratch, cols, dep_rows[lo:hi], dep_cols[lo:hi],
+                    dep_coeffs[lo:hi], inv_diag, epsilon, keep_whole_nnz,
+                )
+                truncated_count += truncated
+                kept_whole += whole
+                continue
 
-        # W holds the −L_ij/L_jj coefficients with columns = level columns
-        # (entries arrive grouped by column, rows ascending — CSC order) and
-        # row indices remapped to pool positions, so the single matmul
-        # blockᵀ = Wᵀ @ Z_poolᵀ reads the pool in place with no gather;
-        # calling the sparsetools kernel scipy's `@` dispatches to directly
-        # skips the per-level matrix-object, validation, and symbolic passes
-        w_indptr = np.zeros(k + 1, dtype=np.int32)
-        np.cumsum(deps_per_col[cols], out=w_indptr[1:])
-        w_indices = pool.position[dep_rows[lo:hi]]
-        w_data = dep_coeffs[lo:hi]
-        b_ptr, b_idx, b_val = pool.csr_of_transpose()
-        block_ptr, block_rows, block_data = _raw_matmat(
-            k, n, w_indptr, w_indices, w_data, b_ptr, b_idx, b_val, nnz_bound
-        )
+            # W holds the −L_ij/L_jj coefficients with columns = level
+            # columns (entries arrive grouped by column, rows ascending —
+            # CSC order) and row indices remapped to pool positions, so the
+            # per-chunk matmul blockᵀ = Wᵀ @ Z_poolᵀ reads the pool in
+            # place with no gather; calling the sparsetools kernel scipy's
+            # `@` dispatches to directly skips the per-level matrix-object,
+            # validation, and symbolic passes
+            w_indptr = np.zeros(k + 1, dtype=np.int32)
+            np.cumsum(deps_per_col[cols], out=w_indptr[1:])
+            w_indices = pool.position[dep_rows[lo:hi]]
+            w_data = dep_coeffs[lo:hi]
+            b_ptr, b_idx, b_val = pool.csr_of_transpose()
+            if entry_bound.shape[0]:
+                entry_cum = np.concatenate([[0], np.cumsum(entry_bound)])
+            else:
+                entry_cum = np.zeros(1, dtype=np.int64)
+            col_bound_prefix = entry_cum[w_indptr]
+            level_cols = cols
+            level_inv_diag = inv_diag[cols]
 
-        # the e_j/L_jj unit term lands on row j, a smaller row index than
-        # every dependency entry — truncation accounts for it, prepends it,
-        # and writes the surviving level directly into the pool
-        num_truncated = _truncate_block(
-            pool, cols, block_ptr, block_rows, block_data, inv_diag[cols],
-            epsilon, keep_whole_nnz,
-        )
-        truncated_count += num_truncated
-        kept_whole += k - num_truncated
+            def run_chunk(a: int, b: int):
+                # matmul + Eq. (10) truncation of the columns [a, b) of the
+                # level; pure function of the (frozen) pool snapshot, so
+                # chunks are safe to run on pool threads
+                ptr = w_indptr[a:b + 1] - w_indptr[a]
+                sl = slice(int(w_indptr[a]), int(w_indptr[b]))
+                bound = int(col_bound_prefix[b] - col_bound_prefix[a])
+                block_ptr, block_rows, block_data = _raw_matmat(
+                    b - a, n, ptr, w_indices[sl], w_data[sl],
+                    b_ptr, b_idx, b_val, bound,
+                )
+                # the e_j/L_jj unit term lands on row j, a smaller row
+                # index than every dependency entry — truncation accounts
+                # for it and prepends it to the surviving chunk
+                return _truncate_block(
+                    level_cols[a:b], block_ptr, block_rows, block_data,
+                    level_inv_diag[a:b], epsilon, keep_whole_nnz,
+                )
+
+            chunks = _level_chunks(k, col_bound_prefix)
+            if workers > 1 and len(chunks) > 1:
+                if executor is None:
+                    executor = concurrent.futures.ThreadPoolExecutor(
+                        max_workers=workers, thread_name_prefix="alg2-build"
+                    )
+                futures = [executor.submit(run_chunk, a, b) for a, b in chunks]
+                results = [future.result() for future in futures]
+            else:
+                results = [run_chunk(a, b) for a, b in chunks]
+
+            # commit in ascending column order — identical pool layout (and
+            # therefore identical downstream levels) for every worker count
+            for (a, b), (out_ptr, out_rows, out_vals, num_truncated) in zip(
+                chunks, results
+            ):
+                pool.append_level(level_cols[a:b], out_ptr, out_rows, out_vals)
+                truncated_count += num_truncated
+                kept_whole += (b - a) - num_truncated
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     all_ptr, all_rows, all_vals = pool.gather(np.arange(n, dtype=np.int64))
     z_tilde = sp.csc_matrix((all_vals, all_rows, all_ptr), shape=(n, n))
@@ -493,22 +600,13 @@ def _prepend_diag(
     vals: np.ndarray,
     diag_rows: np.ndarray,
     diag_vals: np.ndarray,
-    out: "tuple[np.ndarray, np.ndarray] | None" = None,
-    out_ptr: "np.ndarray | None" = None,
 ) -> "tuple[tuple[np.ndarray, np.ndarray], np.ndarray]":
-    """Insert one diagonal entry at the head of each CSC column.
-
-    ``out``/``out_ptr`` allow writing straight into reserved pool storage.
-    """
-    if out_ptr is None:
-        out_ptr = np.zeros(k + 1, dtype=np.int64)
-        np.cumsum(counts + 1, out=out_ptr[1:])
+    """Insert one diagonal entry at the head of each CSC column."""
+    out_ptr = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(counts + 1, out=out_ptr[1:])
     total = int(out_ptr[-1])
-    if out is None:
-        out_rows = np.empty(total, dtype=np.int32)
-        out_vals = np.empty(total)
-    else:
-        out_rows, out_vals = out
+    out_rows = np.empty(total, dtype=np.int32)
+    out_vals = np.empty(total)
     heads = out_ptr[:-1]
     out_rows[heads] = diag_rows
     out_vals[heads] = diag_vals
@@ -520,7 +618,6 @@ def _prepend_diag(
 
 
 def _truncate_block(
-    pool: "_ColumnPool",
     cols: np.ndarray,
     bindptr: np.ndarray,
     bindices: np.ndarray,
@@ -528,8 +625,8 @@ def _truncate_block(
     diag_vals: np.ndarray,
     epsilon: float,
     keep_whole_nnz: float,
-) -> int:
-    """Vectorised Eq. (10) over every column of a level block.
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, int]":
+    """Vectorised Eq. (10) over every column of a level block (or chunk).
 
     ``(bindptr, bindices, bdata)`` hold the dependency contributions of the
     level in CSC layout; the ``e_j/L_jj`` diagonal term of column ``c``
@@ -543,8 +640,10 @@ def _truncate_block(
     ``ε·‖column‖₁``, and columns at or below the ``log n`` nnz threshold are
     kept whole.
 
-    Writes the surviving entries (rows ascending per column) straight into
-    reserved ``pool`` storage and returns the number of truncated columns.
+    Pure function of its arguments (no shared state), so the level-parallel
+    kernel runs one call per chunk on pool threads.  Returns the surviving
+    entries as ``(out_ptr, out_rows, out_vals, num_truncated)`` with rows
+    ascending per column, ready for :meth:`_ColumnPool.append_level`.
     """
     k = cols.shape[0]
     column_nnz = np.diff(bindptr).astype(np.int64)
@@ -580,8 +679,7 @@ def _truncate_block(
             kept, kept_ptr, num_truncated = _truncate_merged(
                 k, merged_ptr, merged[0], merged[1], epsilon, keep_whole_nnz
             )
-            pool.append_level(cols, kept_ptr, kept[0], kept[1])
-            return num_truncated
+            return kept_ptr, kept[0], kept[1], num_truncated
         # only entries with |v| ≤ ε·‖col‖₁ can belong to the dropped prefix
         # (any larger entry's inclusive prefix mass already exceeds the
         # budget), so all further work runs on this subset only
@@ -640,12 +738,8 @@ def _truncate_block(
             keep[cand_idx[band[perm[dropped]]]] = False
     if keep is not None:
         bindices, bdata = bindices[keep], bdata[keep]
-    out_ptr = np.zeros(k + 1, dtype=np.int64)
-    np.cumsum(kept_counts + 1, out=out_ptr[1:])
-    out = pool.reserve(int(out_ptr[-1]))
-    _prepend_diag(k, kept_counts, bindices, bdata, cols, diag_vals, out=out, out_ptr=out_ptr)
-    pool.commit_level(cols, out_ptr)
-    return num_truncated
+    out, out_ptr = _prepend_diag(k, kept_counts, bindices, bdata, cols, diag_vals)
+    return out_ptr, out[0], out[1], num_truncated
 
 
 def _truncate_merged(

@@ -101,7 +101,7 @@ class ExactEffectiveResistance(ResistanceEngine):
 @register_engine(
     "cholinv",
     params=("epsilon", "drop_tol", "ordering", "ground_value",
-            "small_column_threshold", "mode"),
+            "small_column_threshold", "mode", "build_workers"),
 )
 class CholInvEffectiveResistance(ResistanceEngine):
     """Alg. 3 — effective resistances from the approximate inverse factor.
@@ -127,6 +127,10 @@ class CholInvEffectiveResistance(ResistanceEngine):
         kernel) or ``"reference"`` (the original column-at-a-time loop).
         Both produce the same ``Z̃``; see
         :mod:`repro.core.approx_inverse`.
+    build_workers:
+        Threads for the level-parallel blocked kernel (default 1).  The
+        resulting ``Z̃`` is bit-identical for every worker count; the knob
+        only trades build wall-clock.
 
     Attributes
     ----------
@@ -147,6 +151,7 @@ class CholInvEffectiveResistance(ResistanceEngine):
         ground_value: "float | None" = None,
         small_column_threshold: "float | None" = None,
         mode: str = "blocked",
+        build_workers: int = 1,
     ):
         self.graph = graph
         self.epsilon = epsilon
@@ -154,6 +159,7 @@ class CholInvEffectiveResistance(ResistanceEngine):
         self.ordering = ordering
         self.small_column_threshold = small_column_threshold
         self.mode = mode
+        self.build_workers = build_workers
         self.timer = Timer()
         # keep the caller's setting (None = recompute from the graph) apart
         # from the resolved value: persistence must round-trip the former so
@@ -173,6 +179,7 @@ class CholInvEffectiveResistance(ResistanceEngine):
                 epsilon=epsilon,
                 small_column_threshold=small_column_threshold,
                 mode=mode,
+                build_workers=build_workers,
             )
         self.perm = self.ichol_result.perm
         self._position = np.empty_like(self.perm)
@@ -208,6 +215,7 @@ class CholInvEffectiveResistance(ResistanceEngine):
         engine.ordering = config.ordering
         engine.small_column_threshold = config.small_column_threshold
         engine.mode = config.mode
+        engine.build_workers = config.build_workers
         engine.timer = Timer()
         engine.requested_ground_value = config.ground_value
         engine.ground_value = ground_value

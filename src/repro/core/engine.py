@@ -127,6 +127,13 @@ class EngineConfig:
         the whole graph at once.
     lazy_shards:
         With ``sharded``, defer each shard's build to its first query.
+    build_workers:
+        Threads used to *build* the engine (default 1 = serial).  For the
+        Alg. 3 engine the level-parallel blocked kernel splits large
+        levels into column chunks run concurrently; for a sharded engine
+        eager component builds (and :meth:`ShardedEngine.warm_up`) fan
+        out over this many threads.  Every worker count produces
+        bit-identical engines — the knob trades build wall-clock only.
     """
 
     method: str = "cholinv"
@@ -144,6 +151,13 @@ class EngineConfig:
     seed: "int | None" = None
     sharded: bool = False
     lazy_shards: bool = False
+    build_workers: int = 1
+
+    def __post_init__(self):
+        require(
+            self.build_workers >= 1,
+            f"build_workers must be >= 1, got {self.build_workers}",
+        )
 
     def replace(self, **changes) -> "EngineConfig":
         """Copy with the given fields changed."""

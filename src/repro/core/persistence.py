@@ -79,6 +79,7 @@ def save_engine(engine, path: "str | Path") -> Path:
         mode=engine.mode,
         small_column_threshold=engine.small_column_threshold,
         ground_value=None if requested is None else float(requested),
+        build_workers=int(engine.build_workers),
     )
     z = engine.z_tilde.tocsc()
     path = _npz_path(path)

@@ -20,10 +20,20 @@ With ``lazy_shards=True`` each sub-engine is built on the first query that
 lands in its shard, so a service warm-starts instantly and only pays for
 the components traffic actually touches; lazy builds are serialised per
 shard, so concurrent queries are safe and never build a shard twice.
+
+Shards are independent factorisation problems, which makes them the unit
+of *build* parallelism too: with ``config.build_workers > 1`` eager
+construction fans the per-component builds out over a thread pool, and
+:meth:`ShardedEngine.warm_up` does the same for a lazy engine on demand
+(safe to call concurrently with live queries — the per-shard build locks
+serialise exactly as they do for lazy first-touch builds).  Shards built
+in parallel are bit-identical to serial builds: each sub-engine's math is
+untouched, only *when* it runs changes.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import threading
 
 import numpy as np
@@ -97,9 +107,8 @@ class ShardedEngine(ResistanceEngine):
         self._build_locks: "dict[int, threading.Lock]" = {}
         self._locks_guard = threading.Lock()
         if not self.lazy:
-            for c in range(self.num_shards):
-                if counts[c] > 1:
-                    self._shard(c)
+            eager = [c for c in range(self.num_shards) if counts[c] > 1]
+            self._build_shards(eager, self.config.build_workers)
 
     # ------------------------------------------------------------------
     @property
@@ -111,7 +120,9 @@ class ShardedEngine(ResistanceEngine):
         """Node count of every shard."""
         return np.bincount(self.component_labels, minlength=self.num_shards)
 
-    def _shard(self, c: int) -> ResistanceEngine:
+    def _shard(
+        self, c: int, config: "EngineConfig | None" = None
+    ) -> ResistanceEngine:
         engine = self._engines[c]
         if engine is not None:
             return engine
@@ -121,8 +132,76 @@ class ShardedEngine(ResistanceEngine):
             if self._engines[c] is None:
                 with self.timer.section("shard_build"):
                     sub, _ = self.graph.subgraph(self._members[c])
-                    self._engines[c] = build_engine(sub, self._shard_config)
+                    self._engines[c] = build_engine(
+                        sub, self._shard_config if config is None else config
+                    )
         return self._engines[c]
+
+    def _build_shards(self, shards: "list[int]", workers: int) -> None:
+        """Build the given shards, fanning out over ``workers`` threads.
+
+        The shards are the primary parallel unit; any whole-number worker
+        surplus beyond the shard count is divided among the sub-builds as
+        Alg. 2 level parallelism (``workers // len(shards)`` each), so
+        the pool is never oversubscribed (a remainder worker can sit idle
+        when the shard count does not divide the budget).  Either way the
+        resulting engines are bit-identical — worker counts never change
+        engine math.
+        """
+        if workers > 1 and len(shards) > 1:
+            per_shard = self._shard_config.replace(
+                build_workers=max(1, workers // len(shards))
+            )
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=min(workers, len(shards)),
+                thread_name_prefix="shard-build",
+            ) as pool:
+                # list() drains the iterator so worker exceptions propagate
+                list(pool.map(lambda c: self._shard(c, per_shard), shards))
+        elif workers > 1:
+            # a single pending shard gets the whole budget as Alg. 2
+            # level parallelism
+            per_shard = self._shard_config.replace(build_workers=workers)
+            for c in shards:
+                self._shard(c, per_shard)
+        else:
+            for c in shards:
+                self._shard(c)
+
+    def warm_up(self, workers: "int | None" = None) -> int:
+        """Build every not-yet-built multi-node shard, optionally in parallel.
+
+        Gives a lazy engine the cold-start profile of an eager one without
+        giving up lazy construction: a service can come up instantly, then
+        warm its shards in the background while early traffic builds
+        whatever it touches first.  Safe to call from several threads and
+        concurrently with queries — every build goes through the same
+        per-shard locks as lazy first-touch builds, so no shard is ever
+        built twice.
+
+        Parameters
+        ----------
+        workers:
+            Thread count for the fan-out; defaults to
+            ``config.build_workers``.
+
+        Returns
+        -------
+        int
+            Number of shards that were cold when this call started (0
+            means the engine was already fully warm).
+        """
+        effective = self.config.build_workers if workers is None else int(workers)
+        require(effective >= 1, f"workers must be >= 1, got {workers}")
+        sizes = self.shard_sizes()
+        pending = [
+            c
+            for c in range(self.num_shards)
+            if sizes[c] > 1 and self._engines[c] is None
+        ]
+        if pending:
+            self._build_shards(pending, effective)
+        return len(pending)
 
     # ------------------------------------------------------------------
     # sub-batch interface (what the serving layer's planner fans out)

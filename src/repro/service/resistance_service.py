@@ -342,6 +342,7 @@ class ResistanceService:
         graph: "Graph | None" = None,
         edges=None,
         weights=None,
+        build_workers: "int | None" = None,
     ) -> RefreshStats:
         """Rebuild the engine after graph edits and invalidate all caches.
 
@@ -349,6 +350,12 @@ class ResistanceService:
         array) with matching ``weights`` to add on top of the current graph
         — parallel occurrences coalesce, so adding an existing edge *adds
         conductance* exactly like wiring a resistor in parallel.
+
+        ``build_workers`` overrides (and from then on replaces) the
+        config's build parallelism for the rebuild — the knob that keeps a
+        refresh short enough to run under live traffic.  Worker counts
+        never change engine results, so a parallel rebuild serves the
+        exact answers a serial one would.
 
         Thread-safe: refreshes serialise among themselves, and queries in
         flight finish against the engine they started with — cache
@@ -358,6 +365,10 @@ class ResistanceService:
         engine swap and cache invalidation happen atomically.
         """
         with self._refresh_lock:
+            require(
+                build_workers is None or build_workers >= 1,
+                "build_workers must be >= 1",
+            )
             if graph is None:
                 require(edges is not None, "pass either graph or edges")
                 edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
@@ -380,12 +391,21 @@ class ResistanceService:
             else:
                 require(edges is None and weights is None,
                         "pass either graph or edges, not both")
-            # build first — the old engine keeps serving meanwhile —
-            # then swap + bump + invalidate atomically
+            # build first — the old engine keeps serving meanwhile — then
+            # swap + bump + invalidate atomically; the new worker count is
+            # adopted only together with the engine it built, so a call
+            # that fails (bad arguments or a build breakdown) never
+            # changes how future refreshes build
+            rebuild_config = (
+                self.config
+                if build_workers is None
+                else self.config.replace(build_workers=int(build_workers))
+            )
             start = time.perf_counter()
-            new_engine = build_engine(graph, self.config)
+            new_engine = build_engine(graph, rebuild_config)
             rebuild = time.perf_counter() - start
             with self._lock:
+                self.config = rebuild_config
                 self.engine = new_engine
                 self.graph = graph
                 self._epoch += 1
