@@ -1,0 +1,36 @@
+"""``repro.analysis`` — AST-based invariant checker for this repository.
+
+A small static-analysis pass that *proves* the structural invariants the
+concurrent serving stack depends on (lock discipline, registry purity,
+config↔persistence round-tripping, build determinism, boundary
+validation, no shared mutable defaults) on every commit — the codebase
+applying to itself the philosophy the reproduced paper's relatives (PEERS)
+apply to numerics: settle structure symbolically before anything runs.
+
+Run it as ``python -m repro.analysis [paths...]`` or ``python -m repro
+lint``; the library entry point is :func:`run_analysis`.  See
+``src/repro/analysis/README.md`` for the rule catalogue, suppression and
+baseline workflow, and how to add a rule.
+"""
+
+from repro.analysis.framework import (
+    AnalysisReport,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    register_rule,
+    registered_rules,
+    run_analysis,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "register_rule",
+    "registered_rules",
+    "run_analysis",
+]

@@ -1,0 +1,101 @@
+"""Command-line front-end of the invariant checker.
+
+``python -m repro.analysis [paths...]`` (and the ``python -m repro lint``
+alias) runs every registered rule, filters inline suppressions and the
+committed baseline, renders the report (``--format text|json``) and exits
+non-zero iff any non-baselined *error* finding remains — which is exactly
+what the CI ``lint`` job gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import load_baseline, partition, write_baseline
+from repro.analysis.framework import registered_rules, run_analysis
+from repro.analysis.reporters import render_json, render_text
+
+DEFAULT_PATHS = ("src/repro",)
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_arg_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "AST-based invariant checker: lock discipline, registry purity, "
+            "config-persistence drift, determinism, boundary validation, "
+            "mutable defaults"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help=f"files/directories to analyse (default: {DEFAULT_PATHS[0]})",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help=f"baseline file of accepted findings (default: "
+             f"{DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept every current finding into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select", metavar="RULE[,RULE...]", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule_cls in sorted(registered_rules().items()):
+            print(f"{rule_id} [{rule_cls.severity}] — {rule_cls.description}")
+        return 0
+
+    paths = tuple(args.paths) or DEFAULT_PATHS
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select
+        else None
+    )
+    try:
+        report = run_analysis(paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).exists():
+        baseline_path = DEFAULT_BASELINE
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        write_baseline(target, report.findings)
+        print(
+            f"baseline written to {target} "
+            f"({len(report.findings)} finding(s) accepted)",
+            file=sys.stderr,
+        )
+        return 0
+
+    accepted = load_baseline(baseline_path) if baseline_path else set()
+    new, baselined = partition(report.findings, accepted)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(new, report.suppressed, baselined))
+    return 1 if any(f.severity == "error" for f in new) else 0

@@ -1,0 +1,83 @@
+"""Committed-baseline support for the invariant checker.
+
+A baseline is a JSON file of *accepted* findings: anything listed there is
+reported separately and does not fail a run, so wiring a new rule into CI
+never blocks unrelated work while the pre-existing debt is paid down.
+Entries match on :meth:`repro.analysis.framework.Finding.key` — ``(rule,
+path, message)``, deliberately excluding line numbers so ordinary edits
+that shift code do not resurrect baselined findings.
+
+The shipped tree carries an **empty** baseline
+(``analysis-baseline.json``): every violation the six rules found was
+fixed (or given an inline ``# repro: ignore[...] — reason``) rather than
+baselined, and CI keeps it that way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.framework import Finding
+
+BASELINE_VERSION = 1
+
+
+def empty_baseline() -> "set[tuple[str, str, str]]":
+    """The baseline of a clean tree: accepts nothing."""
+    return set()
+
+
+def load_baseline(path: "str | Path") -> "set[tuple[str, str, str]]":
+    """Read accepted finding keys from a baseline file.
+
+    A missing file is an empty baseline (so ``--baseline`` can point at a
+    file that will only be created once something is accepted).
+    """
+    path = Path(path)
+    if not path.exists():
+        return empty_baseline()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    version = int(data.get("version", 0))
+    if version > BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has format version {version}, newer than "
+            f"supported version {BASELINE_VERSION}"
+        )
+    keys: "set[tuple[str, str, str]]" = set()
+    for entry in data.get("findings", []):
+        keys.add((str(entry["rule"]), str(entry["path"]), str(entry["message"])))
+    return keys
+
+
+def write_baseline(path: "str | Path", findings: "Iterable[Finding]") -> Path:
+    """Write ``findings`` as the new accepted baseline; returns the path."""
+    entries = sorted(
+        {
+            (f.rule, f.path, f.message)
+            for f in findings
+        }
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": rule, "path": rel, "message": message}
+            for rule, rel, message in entries
+        ],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def partition(
+    findings: "Sequence[Finding]",
+    accepted: "set[tuple[str, str, str]]",
+) -> "tuple[tuple[Finding, ...], tuple[Finding, ...]]":
+    """Split findings into ``(new, baselined)`` against accepted keys."""
+    new: "list[Finding]" = []
+    baselined: "list[Finding]" = []
+    for finding in findings:
+        (baselined if finding.key() in accepted else new).append(finding)
+    return tuple(new), tuple(baselined)

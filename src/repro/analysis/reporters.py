@@ -1,0 +1,82 @@
+"""Reporters — render an analysis run for humans (text) or machines (JSON).
+
+Both renderers take the same inputs (active findings, plus the suppressed
+and baselined ones that were filtered out) and produce deterministic
+output, so they are covered by golden tests and the JSON form can be
+uploaded as a CI artifact next to the ``BENCH_*.json`` records.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.framework import Finding
+
+JSON_REPORT_VERSION = 1
+
+
+def _counts(
+    findings: "Sequence[Finding]",
+    suppressed: "Sequence[Finding]",
+    baselined: "Sequence[Finding]",
+) -> "dict[str, int]":
+    return {
+        "findings": len(findings),
+        "errors": sum(1 for f in findings if f.severity == "error"),
+        "warnings": sum(1 for f in findings if f.severity == "warning"),
+        "suppressed": len(suppressed),
+        "baselined": len(baselined),
+    }
+
+
+def render_text(
+    findings: "Sequence[Finding]",
+    suppressed: "Sequence[Finding]" = (),
+    baselined: "Sequence[Finding]" = (),
+) -> str:
+    """Human-readable report: one ``path:line:col`` line per finding."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} [{f.severity}] {f.message}"
+        for f in sorted(findings)
+    ]
+    counts = _counts(findings, suppressed, baselined)
+    if counts["findings"] == 0:
+        summary = "clean: no findings"
+    else:
+        summary = (
+            f"{counts['findings']} finding(s): "
+            f"{counts['errors']} error(s), {counts['warnings']} warning(s)"
+        )
+    summary += (
+        f" ({counts['suppressed']} suppressed, {counts['baselined']} baselined)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: "Sequence[Finding]",
+    suppressed: "Sequence[Finding]" = (),
+    baselined: "Sequence[Finding]" = (),
+) -> str:
+    """Machine-readable report (stable key order, 2-space indent)."""
+
+    def encode(f: Finding) -> "dict[str, object]":
+        return {
+            "rule": f.rule,
+            "severity": f.severity,
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "message": f.message,
+        }
+
+    payload = {
+        "version": JSON_REPORT_VERSION,
+        "counts": _counts(findings, suppressed, baselined),
+        "findings": [encode(f) for f in sorted(findings)],
+        "suppressed": [encode(f) for f in sorted(suppressed)],
+        "baselined": [encode(f) for f in sorted(baselined)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,16 @@
+"""Built-in invariant rules; importing this package registers them all.
+
+Each module registers one rule with
+:func:`repro.analysis.framework.register_rule` — the same self-registering
+import idiom the engine registry uses.  Add a rule by dropping a module
+here and importing it below (see ``repro/analysis/README.md``).
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    boundary_validation,
+    config_drift,
+    determinism,
+    lock_discipline,
+    mutable_defaults,
+    registry_purity,
+)

@@ -1,0 +1,133 @@
+"""Rule ``boundary-validation`` — services validate node ids at the door.
+
+PR 4 established the contract: a bad node id fails at the *service*
+boundary with a ``ValueError`` naming the offender
+(:func:`repro.core.engine.validate_node_ids`), never as an ``IndexError``
+— or worse, a silently wrapped negative index — deep inside an engine.
+The async front-end additionally relies on it so one malformed request
+fails only its own future, not a whole coalesced micro-batch.
+
+The rule checks every public method of every ``*Service`` class: if a
+parameter is node-id-bearing (``p``, ``q``, ``pairs``, ``edges``,
+``node``, ``nodes``, ``node_ids``, ``ids``), the method must call
+``validate_node_ids`` — directly, or by delegating to another method of
+the same class that (transitively) does.  Delegation is resolved as a
+fixpoint over ``self.<method>(...)`` calls, so thin wrappers like
+``query_pairs`` → ``query_pairs_with_report`` pass without repeating the
+check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, ModuleInfo, Rule, register_rule
+
+_VALIDATOR = "validate_node_ids"
+_NODE_PARAMS = {"p", "q", "pairs", "edges", "node", "nodes", "node_ids", "ids"}
+_SERVICE_SUFFIX = "Service"
+
+
+def _method_calls_validator(method: ast.AST) -> bool:
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name == _VALIDATOR:
+                return True
+    return False
+
+
+def _self_delegates(
+    method: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> "set[str]":
+    """Names of same-class methods this method calls via ``self.<m>(...)``."""
+    if not method.args.args:
+        return set()
+    self_name = method.args.args[0].arg
+    out: "set[str]" = set()
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == self_name
+        ):
+            out.add(node.func.attr)
+    return out
+
+
+def _node_params(
+    method: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> "list[str]":
+    params = [
+        arg.arg
+        for arg in (
+            method.args.posonlyargs + method.args.args + method.args.kwonlyargs
+        )
+    ]
+    return [name for name in params[1:] if name in _NODE_PARAMS] if params else []
+
+
+@register_rule
+class BoundaryValidationRule(Rule):
+    rule_id = "boundary-validation"
+    severity = "error"
+    description = (
+        "public *Service methods taking node ids must call "
+        "validate_node_ids (directly or via a delegate method)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> "Iterable[Finding]":
+        findings: "list[Finding]" = []
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.ClassDef)
+                and node.name.endswith(_SERVICE_SUFFIX)
+                and not node.name.startswith("_")
+            ):
+                continue
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            satisfied = {
+                name
+                for name, method in methods.items()
+                if _method_calls_validator(method)
+            }
+            delegates = {
+                name: _self_delegates(method) & set(methods)
+                for name, method in methods.items()
+            }
+            # fixpoint: calling a satisfied sibling satisfies the caller
+            changed = True
+            while changed:
+                changed = False
+                for name, called in delegates.items():
+                    if name not in satisfied and called & satisfied:
+                        satisfied.add(name)
+                        changed = True
+            for name, method in methods.items():
+                if name.startswith("_") or name in satisfied:
+                    continue
+                params = _node_params(method)
+                if params:
+                    findings.append(
+                        self.finding(
+                            module,
+                            method,
+                            f"public method '{node.name}.{name}' takes node "
+                            f"ids ({', '.join(repr(p) for p in params)}) but "
+                            f"never calls {_VALIDATOR}(), so a bad id would "
+                            f"surface as an IndexError (or wrap negative) "
+                            f"inside an engine",
+                        )
+                    )
+        return findings

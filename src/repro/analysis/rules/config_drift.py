@@ -1,0 +1,179 @@
+"""Rule ``config-persistence-drift`` — saved configs must round-trip.
+
+The exact bug class this rule encodes shipped silently once already: PR 5
+added ``EngineConfig.build_workers``, and until it was explicitly threaded
+through ``persistence.py:save_engine`` and
+``CholInvEffectiveResistance.from_state``, engines restored from disk
+quietly rebuilt with the default worker count.  Nothing crashed — the
+field just evaporated across a save/load cycle.
+
+The rule cross-checks three structures, wherever they live in the project:
+
+* the ``EngineConfig`` dataclass — the set of declared field names;
+* the ``register_engine("cholinv", params=(...))`` registration — the
+  subset of fields the persisted (Alg. 3) engine actually consumes;
+* ``save_engine`` — the keywords of the ``EngineConfig(...)`` call it
+  builds the on-disk config from — and ``from_state`` — the
+  ``config.<field>`` attributes it reads back.
+
+Every cholinv param must be written by ``save_engine`` and read by
+``from_state``; any keyword ``save_engine`` passes that is not a declared
+field (a typo that ``from_dict`` would silently drop) is flagged too.
+The executable twin of this rule is the save/load field-equality test in
+``tests/test_persistence_drift.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, ModuleInfo, Project, Rule, register_rule
+
+_CONFIG_CLASS = "EngineConfig"
+_PERSISTED_METHOD = "cholinv"
+_SAVE_FUNC = "save_engine"
+_RESTORE_FUNC = "from_state"
+_REGISTRAR = "register_engine"
+
+
+def _terminal_name(func: ast.expr) -> "str | None":
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _config_fields(project: Project) -> "set[str]":
+    """Field names of the (single) ``EngineConfig`` dataclass, if any."""
+    fields: "set[str]" = set()
+    for module in project:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == _CONFIG_CLASS:
+                for statement in node.body:
+                    if isinstance(statement, ast.AnnAssign) and isinstance(
+                        statement.target, ast.Name
+                    ):
+                        fields.add(statement.target.id)
+    return fields
+
+
+def _persisted_params(project: Project) -> "set[str]":
+    """Params declared by ``register_engine("cholinv", params=(...))``."""
+    params: "set[str]" = set()
+    for module in project:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and _terminal_name(node.func) == _REGISTRAR
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == _PERSISTED_METHOD
+            ):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg == "params" and isinstance(
+                    keyword.value, (ast.Tuple, ast.List)
+                ):
+                    for element in keyword.value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            params.add(element.value)
+    return params
+
+
+@register_rule
+class ConfigPersistenceDriftRule(Rule):
+    rule_id = "config-persistence-drift"
+    severity = "error"
+    description = (
+        "every EngineConfig field the persisted engine consumes must be "
+        "written by save_engine and read back by from_state"
+    )
+
+    def check_project(self, project: Project) -> "Iterable[Finding]":
+        fields = _config_fields(project)
+        params = _persisted_params(project)
+        if not fields or not params:
+            return ()  # nothing persistable in this tree
+        required = sorted(params - {"method"})
+        findings: "list[Finding]" = []
+        for module in project:
+            findings.extend(self._check_save(module, required, fields))
+            findings.extend(self._check_restore(module, required))
+        return findings
+
+    def _check_save(
+        self, module: ModuleInfo, required: "list[str]", fields: "set[str]"
+    ) -> "Iterable[Finding]":
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == _SAVE_FUNC
+            ):
+                continue
+            calls = [
+                call
+                for call in ast.walk(node)
+                if isinstance(call, ast.Call)
+                and _terminal_name(call.func) == _CONFIG_CLASS
+            ]
+            for call in calls:
+                if any(keyword.arg is None for keyword in call.keywords):
+                    continue  # **kwargs: opaque to static analysis
+                written = {
+                    keyword.arg for keyword in call.keywords
+                    if keyword.arg is not None
+                }
+                for param in required:
+                    if param not in written:
+                        yield self.finding(
+                            module,
+                            call,
+                            f"EngineConfig field '{param}' is consumed by "
+                            f"the '{_PERSISTED_METHOD}' engine but not "
+                            f"written by {_SAVE_FUNC}(); saved engines "
+                            f"would silently lose it",
+                        )
+                for name in sorted(written - fields - {"method"}):
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{_SAVE_FUNC}() passes keyword '{name}' which is "
+                        f"not an EngineConfig field (typo? from_dict would "
+                        f"silently drop it)",
+                    )
+
+    def _check_restore(
+        self, module: ModuleInfo, required: "list[str]"
+    ) -> "Iterable[Finding]":
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == _RESTORE_FUNC
+            ):
+                continue
+            arg_names = {arg.arg for arg in node.args.args} | {
+                arg.arg for arg in node.args.kwonlyargs
+            }
+            if "config" not in arg_names:
+                continue
+            reads = {
+                sub.attr
+                for sub in ast.walk(node)
+                if isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "config"
+            }
+            for param in required:
+                if param not in reads:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"EngineConfig field '{param}' is consumed by the "
+                        f"'{_PERSISTED_METHOD}' engine but never read back "
+                        f"by {_RESTORE_FUNC}(); restored engines would "
+                        f"silently rebuild with the default",
+                    )

@@ -1,0 +1,181 @@
+"""Rule ``determinism`` — no unseeded randomness, no wall-clock in builds.
+
+The repository's strongest guarantee is that engine builds are pure
+functions of (graph, config): the blocked Alg. 2 kernel is bit-identical
+at any worker count, sharded builds are bit-identical to serial ones, and
+persistence round-trips bit-exactly.  Two things would quietly break that:
+
+* **unseeded randomness** — every stochastic component must thread a
+  seed/`numpy.random.Generator` through
+  :func:`repro.utils.rng.ensure_rng`.  The rule flags the legacy
+  global-state ``np.random.*`` API (``rand``, ``seed``, ``shuffle``, …),
+  ``np.random.default_rng()`` called with no argument (or a literal
+  ``None``), and any use of the stdlib ``random`` module;
+* **wall-clock reads in the build path** — ``time.time()`` in the
+  ``core``/``cholesky``/``linalg``/``partition`` layers (where its value
+  could leak into thresholds or tie-breaking).  ``time.perf_counter()``
+  stays legal everywhere: it only ever feeds timers.
+
+``np.random.default_rng(seed)`` with a *variable* argument is accepted —
+whether that variable may be ``None`` is the caller's explicit,
+documented choice (see :func:`repro.utils.rng.ensure_rng`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, ModuleInfo, Rule, register_rule
+
+#: Legacy global-state numpy RNG entry points (non-exhaustive on purpose:
+#: these are the ones that mutate or read the hidden global state).
+_LEGACY_NP_RANDOM = {
+    "beta", "binomial", "choice", "exponential", "gamma", "normal",
+    "permutation", "poisson", "rand", "randint", "randn", "random",
+    "random_sample", "seed", "shuffle", "standard_normal", "uniform",
+}
+
+#: Directory components that form the deterministic build path.
+_BUILD_DIRS = {"core", "cholesky", "linalg", "partition"}
+
+
+def _numpy_aliases(tree: ast.Module) -> "set[str]":
+    """Names the ``numpy`` module is bound to in this file."""
+    aliases: "set[str]" = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def _stdlib_random_aliases(tree: ast.Module) -> "set[str]":
+    aliases: "set[str]" = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.add(alias.asname or "random")
+    return aliases
+
+
+def _time_names(tree: ast.Module) -> "tuple[set[str], set[str]]":
+    """``(module_aliases, bare_names)`` under which ``time.time`` is visible."""
+    modules: "set[str]" = set()
+    bare: "set[str]" = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    modules.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    bare.add(alias.asname or "time")
+    return modules, bare
+
+
+@register_rule
+class DeterminismRule(Rule):
+    rule_id = "determinism"
+    severity = "error"
+    description = (
+        "no unseeded/global-state RNG anywhere; no time.time() in the "
+        "build-path layers"
+    )
+
+    def check_module(self, module: ModuleInfo) -> "Iterable[Finding]":
+        findings: "list[Finding]" = []
+        np_aliases = _numpy_aliases(module.tree)
+        random_aliases = _stdlib_random_aliases(module.tree)
+        in_build_path = any(
+            part in _BUILD_DIRS for part in module.dotted_parts[:-1]
+        )
+        time_modules, time_bare = (
+            _time_names(module.tree) if in_build_path else (set(), set())
+        )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "stdlib 'random' is global-state and unseeded by "
+                        "default; use a numpy Generator threaded through "
+                        "repro.utils.rng.ensure_rng",
+                    )
+                )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # random.<anything>(...) on the stdlib module
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in random_aliases
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"stdlib 'random.{func.attr}()' is global-state and "
+                        f"unseeded by default; use a numpy Generator "
+                        f"threaded through repro.utils.rng.ensure_rng",
+                    )
+                )
+                continue
+            # np.random.<legacy>(...) and np.random.default_rng()
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "random"
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in np_aliases
+            ):
+                if func.attr in _LEGACY_NP_RANDOM:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"legacy global-state 'np.random.{func.attr}()' "
+                            f"is unseeded; use a Generator from "
+                            f"repro.utils.rng.ensure_rng",
+                        )
+                    )
+                elif func.attr == "default_rng" and not node.keywords:
+                    unseeded = not node.args or (
+                        isinstance(node.args[0], ast.Constant)
+                        and node.args[0].value is None
+                    )
+                    if unseeded:
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                "np.random.default_rng() without an explicit "
+                                "seed draws OS entropy; thread a "
+                                "seed/Generator argument through instead",
+                            )
+                        )
+                continue
+            # time.time() in the build path
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in time_modules
+            ) or (isinstance(func, ast.Name) and func.id in time_bare):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "time.time() in a build-path module can leak "
+                        "wall-clock into deterministic builds; use "
+                        "time.perf_counter() for timing",
+                    )
+                )
+        return findings

@@ -1,0 +1,164 @@
+"""Rule ``lock-discipline`` — once locked, always locked.
+
+The concurrent layers (``core/sharded.py``, ``service/resistance_service.py``,
+``service/async_service.py``) follow one convention: instance state that is
+ever mutated under a lock is *only* mutated under a lock.  PR 4's epoch
+fencing and PR 5's per-shard build locks both depend on it, and the
+ROADMAP's ``ProcessExecutor`` work will touch exactly this code — so the
+convention is enforced structurally:
+
+    for every class, any attribute assigned (``self.x = …``,
+    ``self.x[i] = …``, ``self.x += …``) inside a ``with`` block whose
+    context manager looks like a lock must never be assigned outside such
+    a block in the same class — except in ``__init__``, where the object
+    is not yet shared.
+
+"Looks like a lock" means the ``with`` expression is a name, attribute or
+subscript whose final identifier contains ``lock``, ``mutex``, ``guard``
+or ``cond`` (case-insensitive): ``with self._lock:``, ``with
+self._locks_guard:``, ``with lock:`` (a lock pulled out of a dict),
+``with self._locks[c]:``, ``with self._cond:``.
+Constructor *helpers* (e.g. a ``_init_state`` called only from
+``__init__``) are not recognised — mark those lines with
+``# repro: ignore[lock-discipline]`` and a reason, which is exactly the
+kind of load-bearing comment the convention wants written down.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import Finding, ModuleInfo, Rule, register_rule
+
+_LOCKISH = re.compile(r"lock|mutex|guard|cond", re.IGNORECASE)
+
+
+def _is_lockish(expr: ast.expr) -> bool:
+    """Whether a ``with`` context expression looks like a lock object."""
+    if isinstance(expr, ast.Name):
+        return bool(_LOCKISH.search(expr.id))
+    if isinstance(expr, ast.Attribute):
+        return bool(_LOCKISH.search(expr.attr))
+    if isinstance(expr, ast.Subscript):
+        # ``with self._locks[c]:`` — the container name carries the intent
+        return _is_lockish(expr.value)
+    return False
+
+
+def _self_attr_root(target: ast.expr, self_name: str) -> "str | None":
+    """Root attribute of a ``self``-rooted write target, else ``None``.
+
+    ``self.stats.queries += 1`` and ``self._engines[c] = e`` both resolve
+    to their root attribute (``stats`` / ``_engines``): what the lock
+    protects is the instance slot, however deep the mutation goes.
+    """
+    node = target
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self_name
+        ):
+            return node.attr
+        node = node.value
+    return None
+
+
+def _write_targets(node: ast.stmt) -> "Iterator[ast.expr]":
+    """Assignment targets of a statement (flattening tuple unpacking)."""
+    targets: "list[ast.expr]" = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            yield from target.elts
+        else:
+            yield target
+
+
+class _Write:
+    """One attribute write inside a method, with its lock context."""
+
+    def __init__(
+        self, attr: str, method: str, node: ast.stmt, locked: bool
+    ) -> None:
+        self.attr = attr
+        self.method = method
+        self.node = node
+        self.locked = locked
+
+
+def _collect_writes(
+    method: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> "list[_Write]":
+    """Every ``self.X``-rooted write in ``method`` with its lock depth."""
+    if not method.args.args:
+        return []
+    self_name = method.args.args[0].arg
+    writes: "list[_Write]" = []
+
+    def visit(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inside = locked or any(
+                _is_lockish(item.context_expr) for item in node.items
+            )
+            for child in node.body:
+                visit(child, inside)
+            return
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            return  # nested scope: its own receiver, its own discipline
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            for target in _write_targets(node):
+                attr = _self_attr_root(target, self_name)
+                if attr is not None:
+                    writes.append(_Write(attr, method.name, node, locked))
+        for child in ast.iter_child_nodes(node):
+            visit(child, locked)
+
+    for statement in method.body:
+        visit(statement, False)
+    return writes
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    rule_id = "lock-discipline"
+    severity = "error"
+    description = (
+        "attributes ever written under a lock must always be written "
+        "under one (outside __init__)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> "Iterable[Finding]":
+        findings: "list[Finding]" = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            writes: "list[_Write]" = []
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    writes.extend(_collect_writes(item))
+            guarded = {w.attr for w in writes if w.locked}
+            for write in writes:
+                if (
+                    write.attr in guarded
+                    and not write.locked
+                    and write.method != "__init__"
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            write.node,
+                            f"attribute 'self.{write.attr}' is written under "
+                            f"a lock elsewhere in class '{node.name}' but "
+                            f"method '{write.method}' writes it without "
+                            f"holding one",
+                        )
+                    )
+        return findings

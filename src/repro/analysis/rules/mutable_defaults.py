@@ -1,0 +1,81 @@
+"""Rule ``mutable-default-args`` — no shared mutable default values.
+
+A default like ``def f(cache={})`` is evaluated once at definition time
+and shared by every call — state leaks across calls (and across *threads*,
+which is what makes this more than a style nit in a serving stack).  The
+rule flags literal list/dict/set displays and calls to the common mutable
+constructors (``list``, ``dict``, ``set``, ``OrderedDict``,
+``defaultdict``, ``deque``, ``Counter``) used as parameter defaults.
+
+The fix is the standard idiom: default to ``None`` and materialise inside
+the function body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import Finding, ModuleInfo, Rule, register_rule
+
+_MUTABLE_CONSTRUCTORS = {
+    "Counter", "OrderedDict", "defaultdict", "deque", "dict", "list", "set",
+}
+
+
+def _describe(default: ast.expr) -> "str | None":
+    if isinstance(default, ast.List):
+        return "list literal"
+    if isinstance(default, ast.Dict):
+        return "dict literal"
+    if isinstance(default, ast.Set):
+        return "set literal"
+    if isinstance(default, ast.Call):
+        func = default.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name in _MUTABLE_CONSTRUCTORS:
+            return f"{name}() call"
+    return None
+
+
+def _defaults(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda",
+) -> "Iterator[ast.expr]":
+    yield from node.args.defaults
+    for default in node.args.kw_defaults:
+        if default is not None:
+            yield default
+
+
+@register_rule
+class MutableDefaultArgsRule(Rule):
+    rule_id = "mutable-default-args"
+    severity = "error"
+    description = "no mutable values as function parameter defaults"
+
+    def check_module(self, module: ModuleInfo) -> "Iterable[Finding]":
+        findings: "list[Finding]" = []
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            name = getattr(node, "name", "<lambda>")
+            for default in _defaults(node):
+                label = _describe(default)
+                if label is not None:
+                    findings.append(
+                        self.finding(
+                            module,
+                            default,
+                            f"parameter default of '{name}' is a mutable "
+                            f"{label}, evaluated once and shared across "
+                            f"calls (and threads); default to None and "
+                            f"materialise inside the body",
+                        )
+                    )
+        return findings

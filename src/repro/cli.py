@@ -17,6 +17,9 @@ Commands
 ``reduce``      Alg. 1 power-grid reduction (SPICE in → SPICE out)
 ``table1``      run one Table I benchmark case
 ``fig1``        reproduce the Fig. 1 waveform experiment
+``lint``        run the repro.analysis invariant checker (lock discipline,
+                registry purity, config-persistence drift, determinism,
+                boundary validation, mutable defaults)
 
 The CLI wraps the same public API the examples use; it exists so the
 reproduction can be driven from shell scripts without writing Python.
@@ -296,6 +299,23 @@ def cmd_fig1(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the static invariant checker (alias of ``python -m repro.analysis``)."""
+    from repro.analysis.app import main as analysis_main
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv += ["--write-baseline"]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return analysis_main(argv)
+
+
 def _add_graph_engine_arguments(parser) -> None:
     """Graph-source and engine options shared by ``er`` and ``service``."""
     from repro.core.engine import registered_engines
@@ -402,6 +422,24 @@ def build_parser() -> argparse.ArgumentParser:
     f1.add_argument("--steps", type=int, default=300)
     f1.add_argument("--output", help="CSV output path")
     f1.set_defaults(func=cmd_fig1)
+
+    lint = sub.add_parser(
+        "lint", help="run the repro.analysis structural invariant checker"
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to analyse (default: src/repro)")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--baseline", metavar="PATH",
+                      help="baseline file of accepted findings "
+                           "(default: analysis-baseline.json when present)")
+    lint.add_argument("--write-baseline", dest="write_baseline",
+                      action="store_true",
+                      help="accept every current finding into the baseline")
+    lint.add_argument("--select", metavar="RULE[,RULE...]",
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--list-rules", dest="list_rules", action="store_true",
+                      help="list registered rules and exit")
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -42,15 +42,18 @@ from __future__ import annotations
 import abc
 import dataclasses
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.graphs.graph import Graph
 from repro.utils.timing import Timer
 from repro.utils.validation import require
 
 
-def as_pair_array(pairs) -> np.ndarray:
+def as_pair_array(pairs: ArrayLike) -> np.ndarray:
     """Normalise a pair list / tuple / array into an ``(m, 2)`` int array.
 
     Empty inputs (``[]``, ``np.empty((0, 2))``, …) normalise to a
@@ -66,13 +69,13 @@ def as_pair_array(pairs) -> np.ndarray:
     return arr
 
 
-def as_pair_columns(pairs) -> "tuple[np.ndarray, np.ndarray]":
+def as_pair_columns(pairs: ArrayLike) -> "tuple[np.ndarray, np.ndarray]":
     """:func:`as_pair_array` split into ``(ps, qs)`` index arrays."""
     arr = as_pair_array(pairs)
     return arr[:, 0], arr[:, 1]
 
 
-def validate_node_ids(ids, num_nodes: int) -> None:
+def validate_node_ids(ids: ArrayLike, num_nodes: int) -> None:
     """Raise ``ValueError`` naming the first id outside ``0 .. num_nodes-1``.
 
     The serving layer calls this at its boundary so a bad request fails
@@ -153,29 +156,29 @@ class EngineConfig:
     lazy_shards: bool = False
     build_workers: int = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         require(
             self.build_workers >= 1,
             f"build_workers must be >= 1, got {self.build_workers}",
         )
 
-    def replace(self, **changes) -> "EngineConfig":
+    def replace(self, **changes: Any) -> "EngineConfig":
         """Copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> "dict[str, Any]":
         """Plain-dict form (JSON-friendly) for persistence."""
         return dataclasses.asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "EngineConfig":
+    def from_dict(cls, data: "dict[str, Any]") -> "EngineConfig":
         """Inverse of :meth:`to_dict`; unknown keys are ignored so configs
         saved by newer versions still load."""
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 
 
-def config_from_kwargs(method: str = "cholinv", **kwargs) -> EngineConfig:
+def config_from_kwargs(method: str = "cholinv", **kwargs: Any) -> EngineConfig:
     """Build an :class:`EngineConfig` from legacy ``method=`` + kwargs calls.
 
     This is the shim that keeps every pre-registry call signature working:
@@ -210,7 +213,7 @@ class ResistanceEngine(abc.ABC):
     config: "EngineConfig | None" = None
 
     @abc.abstractmethod
-    def query_pairs(self, pairs) -> np.ndarray:
+    def query_pairs(self, pairs: ArrayLike) -> np.ndarray:
         """Effective resistances for an ``(m, 2)`` array of node pairs."""
 
     def query(self, p: int, q: int) -> float:
@@ -221,7 +224,7 @@ class ResistanceEngine(abc.ABC):
         """Effective resistance of every edge of the served graph."""
         return self.query_pairs(self.graph.edge_array())
 
-    def save(self, path):
+    def save(self, path: "str | Path") -> Path:
         """Serialise the built engine to ``path`` (``.npz``).
 
         Only engines whose state is plain arrays support this — currently
@@ -246,7 +249,9 @@ _REGISTRY: "dict[str, _EngineSpec]" = {}
 _registered_builtins = False
 
 
-def register_engine(name: str, *, params: "tuple[str, ...]" = ()):
+def register_engine(
+    name: str, *, params: "tuple[str, ...]" = ()
+) -> "Callable[[type], type]":
     """Class decorator registering an engine under ``name``.
 
     ``params`` names the :class:`EngineConfig` fields the engine's
@@ -258,7 +263,7 @@ def register_engine(name: str, *, params: "tuple[str, ...]" = ()):
     bad = sorted(set(params) - config_fields)
     require(not bad, f"params {bad} are not EngineConfig fields")
 
-    def decorate(cls):
+    def decorate(cls: type) -> type:
         _REGISTRY[name] = _EngineSpec(cls, tuple(params))
         cls.engine_name = name
         return cls
@@ -284,10 +289,29 @@ def registered_engines() -> "tuple[str, ...]":
     return tuple(sorted(_REGISTRY))
 
 
+def engine_params(name: str) -> "tuple[str, ...]":
+    """The :class:`EngineConfig` fields the engine ``name`` consumes.
+
+    This is the declared persistence/forwarding surface of an engine: the
+    factory forwards exactly these fields, and for ``"cholinv"`` the
+    persistence layer must save and restore every one of them (the
+    ``config-persistence-drift`` lint rule and the round-trip regression
+    test both key off this list).
+    """
+    _ensure_builtins_registered()
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown engine {name!r}; registered engines: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        )
+    return spec.params
+
+
 def build_engine(
     graph: Graph,
     config: "EngineConfig | str | None" = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> ResistanceEngine:
     """Build the engine a config describes — the registry's single factory.
 

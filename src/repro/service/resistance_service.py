@@ -247,14 +247,17 @@ class ResistanceService:
             max_task_pairs is None or max_task_pairs >= 1,
             "max_task_pairs must be >= 1",
         )
-        self.config = config
-        self.stats = ServiceStats()
+        # constructor helper: runs on a not-yet-shared instance, before the
+        # locks it creates below even exist, so the lock-discipline rule's
+        # once-locked-always-locked invariant cannot apply yet
+        self.config = config  # repro: ignore[lock-discipline] — constructing
+        self.stats = ServiceStats()  # repro: ignore[lock-discipline] — constructing
         self.executor = executor if executor is not None else SerialExecutor()
         self.max_task_pairs = max_task_pairs
         self.last_report: "BatchReport | None" = None
         self._results = _LRU(result_cache_size)
         self._columns = _LRU(column_cache_size)
-        self._edge_resistances: "np.ndarray | None" = None
+        self._edge_resistances: "np.ndarray | None" = None  # repro: ignore[lock-discipline] — constructing
         self._lock = threading.Lock()          # stats + engine swap
         self._refresh_lock = threading.Lock()  # serialises rebuilds
         self._edge_lock = threading.Lock()     # all_edge_resistances memo
@@ -262,7 +265,7 @@ class ResistanceService:
         # computed under and are dropped if a refresh intervened, so an
         # in-flight query can never poison a freshly invalidated cache
         # with old-engine values
-        self._epoch = 0
+        self._epoch = 0  # repro: ignore[lock-discipline] — constructing
 
     @property
     def method(self) -> str:
@@ -333,8 +336,10 @@ class ResistanceService:
     # ------------------------------------------------------------------
     def _build(self, graph: Graph) -> float:
         start = time.perf_counter()
-        self.engine = build_engine(graph, self.config)
-        self.graph = graph
+        engine = build_engine(graph, self.config)
+        with self._lock:  # engine + graph swap together, like a refresh
+            self.engine = engine
+            self.graph = graph
         return time.perf_counter() - start
 
     def refresh_after_edge_update(
@@ -372,6 +377,9 @@ class ResistanceService:
             if graph is None:
                 require(edges is not None, "pass either graph or edges")
                 edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+                # validate at the boundary: a bad endpoint id must raise a
+                # clear ValueError here, not corrupt the rebuilt graph
+                validate_node_ids(edges, self.graph.num_nodes)
                 new_weights = (
                     np.ones(edges.shape[0])
                     if weights is None

@@ -1,0 +1,225 @@
+"""Reporters, baseline workflow and CLI front-end of ``repro.analysis``.
+
+Includes the self-check the issue asks for: the analyzer must run clean
+over the real ``src/repro`` tree (with an empty committed baseline) and
+over its own source.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Finding, run_analysis
+from repro.analysis.app import main
+from repro.analysis.baseline import (
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.analysis.reporters import render_json, render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+
+FINDINGS = (
+    Finding(
+        path="core/a.py",
+        line=3,
+        col=4,
+        rule="determinism",
+        severity="error",
+        message="call to np.random.randn is unseeded",
+    ),
+    Finding(
+        path="svc/b.py",
+        line=10,
+        col=8,
+        rule="lock-discipline",
+        severity="error",
+        message="attribute 'self.total' is written without holding a lock",
+    ),
+)
+
+VIOLATION = "def f(xs=[]):\n    return xs\n"
+
+
+# ----------------------------------------------------------------------
+# reporters
+# ----------------------------------------------------------------------
+class TestReporters:
+    def test_text_report_golden(self):
+        text = render_text(FINDINGS)
+        assert text.splitlines() == [
+            "core/a.py:3:4: determinism [error] "
+            "call to np.random.randn is unseeded",
+            "svc/b.py:10:8: lock-discipline [error] "
+            "attribute 'self.total' is written without holding a lock",
+            "2 finding(s): 2 error(s), 0 warning(s) "
+            "(0 suppressed, 0 baselined)",
+        ]
+
+    def test_text_report_clean_summary(self):
+        assert render_text((), suppressed=FINDINGS[:1], baselined=FINDINGS[1:]) == (
+            "clean: no findings (1 suppressed, 1 baselined)"
+        )
+
+    def test_json_report_golden(self):
+        payload = json.loads(render_json(FINDINGS[:1], baselined=FINDINGS[1:]))
+        assert payload["version"] == 1
+        assert payload["counts"] == {
+            "findings": 1,
+            "errors": 1,
+            "warnings": 0,
+            "suppressed": 0,
+            "baselined": 1,
+        }
+        assert payload["findings"] == [
+            {
+                "rule": "determinism",
+                "severity": "error",
+                "path": "core/a.py",
+                "line": 3,
+                "col": 4,
+                "message": "call to np.random.randn is unseeded",
+            }
+        ]
+        assert [f["rule"] for f in payload["baselined"]] == ["lock-discipline"]
+
+    def test_json_report_is_stable(self):
+        assert render_json(FINDINGS) == render_json(tuple(reversed(FINDINGS)))
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        path = write_baseline(tmp_path / "base.json", FINDINGS)
+        assert load_baseline(path) == {f.key() for f in FINDINGS}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == set()
+
+    def test_partition_ignores_line_numbers(self):
+        # a baselined finding that moved a few lines must stay baselined
+        moved = Finding(
+            path=FINDINGS[0].path,
+            line=FINDINGS[0].line + 17,
+            col=0,
+            rule=FINDINGS[0].rule,
+            severity=FINDINGS[0].severity,
+            message=FINDINGS[0].message,
+        )
+        new, baselined = partition((moved, FINDINGS[1]), {FINDINGS[0].key()})
+        assert baselined == (moved,)
+        assert new == (FINDINGS[1],)
+
+
+# ----------------------------------------------------------------------
+# CLI front-end
+# ----------------------------------------------------------------------
+class TestApp:
+    def test_violation_exits_one_and_prints_finding(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(VIOLATION, encoding="utf-8")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "mutable-default-args" in out
+        assert "1 finding(s): 1 error(s)" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("def f(xs=None):\n    return xs\n")
+        assert main([str(tmp_path)]) == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_json_format_parses(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(VIOLATION, encoding="utf-8")
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["errors"] == 1
+        assert payload["findings"][0]["rule"] == "mutable-default-args"
+
+    def test_write_baseline_then_rerun_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(VIOLATION, encoding="utf-8")
+        base = tmp_path / "base.json"
+        assert main([str(tmp_path), "--baseline", str(base), "--write-baseline"]) == 0
+        assert base.exists()
+        assert main([str(tmp_path), "--baseline", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "clean: no findings (0 suppressed, 1 baselined)" in out
+
+    def test_baselined_finding_resurfaces_when_message_changes(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(VIOLATION, encoding="utf-8")
+        base = tmp_path / "base.json"
+        main([str(tmp_path), "--baseline", str(base), "--write-baseline"])
+        # a *different* violation in the same file is not covered
+        (tmp_path / "mod.py").write_text(
+            VIOLATION + "def g(ys={}):\n    return ys\n", encoding="utf-8"
+        )
+        assert main([str(tmp_path), "--baseline", str(base)]) == 1
+
+    def test_select_limits_rules(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(VIOLATION, encoding="utf-8")
+        assert main([str(tmp_path), "--select", "determinism"]) == 0
+        assert main([str(tmp_path), "--select", "mutable-default-args"]) == 1
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n", encoding="utf-8")
+        assert main([str(tmp_path), "--select", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent")]) == 2
+
+    def test_list_rules_names_all_six(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "lock-discipline",
+            "registry-purity",
+            "config-persistence-drift",
+            "determinism",
+            "boundary-validation",
+            "mutable-default-args",
+        ):
+            assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+# self-checks: the shipped tree is clean
+# ----------------------------------------------------------------------
+class TestSelfCheck:
+    def test_src_tree_is_clean(self):
+        report = run_analysis([SRC])
+        assert report.findings == (), "\n".join(
+            f"{f.path}:{f.line}: {f.rule} {f.message}" for f in report.findings
+        )
+
+    def test_analyzer_own_source_is_clean_with_zero_suppressions(self):
+        report = run_analysis([SRC / "analysis"])
+        assert report.findings == ()
+        assert report.suppressed == ()
+
+    def test_committed_baseline_is_empty(self):
+        assert load_baseline(REPO_ROOT / "analysis-baseline.json") == set()
+
+    def test_module_entry_point_runs(self):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH")])
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(SRC), "--format", "json"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert json.loads(result.stdout)["counts"]["errors"] == 0

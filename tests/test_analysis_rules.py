@@ -1,0 +1,686 @@
+"""Fixture tests for the six ``repro.analysis`` rules.
+
+Each rule gets (at least) a seeded violation that must fire, the fixed
+form that must stay quiet, and a suppressed variant.  Fixtures are tiny
+synthetic modules written into ``tmp_path`` so the tests exercise the
+same path-walking, module-naming and suppression machinery the real CLI
+uses.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_analysis
+
+
+def analyse(tmp_path, files, select=None):
+    """Write ``{relpath: source}`` under ``tmp_path`` and run the rules."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_analysis([tmp_path], select=select)
+
+
+def rule_hits(report, rule_id):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+# ----------------------------------------------------------------------
+# lock-discipline
+# ----------------------------------------------------------------------
+LOCKED_COUNTER = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.total = 0
+
+        def bump(self):
+            with self._lock:
+                self.total += 1
+    %s
+"""
+
+
+class TestLockDiscipline:
+    def test_unguarded_write_fires(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": LOCKED_COUNTER
+                % """
+        def reset(self):
+            self.total = 0
+    """
+            },
+            select=["lock-discipline"],
+        )
+        (hit,) = rule_hits(report, "lock-discipline")
+        assert "self.total" in hit.message
+        assert "'reset'" in hit.message
+
+    def test_guarded_write_is_quiet(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": LOCKED_COUNTER
+                % """
+        def reset(self):
+            with self._lock:
+                self.total = 0
+    """
+            },
+            select=["lock-discipline"],
+        )
+        assert report.findings == ()
+
+    def test_init_writes_are_exempt(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {"svc.py": LOCKED_COUNTER % ""},
+            select=["lock-discipline"],
+        )
+        assert report.findings == ()
+
+    def test_local_lock_variable_counts_as_guard(self, tmp_path):
+        # the sharded engine's per-shard pattern: a Lock pulled out of a
+        # dict into a local before the with-block
+        report = analyse(
+            tmp_path,
+            {
+                "shards.py": """
+    import threading
+
+    class Shards:
+        def __init__(self):
+            self._locks = {}
+            self._engines = {}
+
+        def build(self, c):
+            lock = self._locks.setdefault(c, threading.Lock())
+            with lock:
+                self._engines[c] = object()
+
+        def rebuild(self, c):
+            with self._locks[c]:
+                self._engines[c] = object()
+    """
+            },
+            select=["lock-discipline"],
+        )
+        assert report.findings == ()
+
+    def test_subscript_and_chained_writes_resolve_to_root_attr(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    import threading
+
+    class Service:
+        def __init__(self):
+            self._cond = threading.Condition()
+            self.stats = object()
+            self._cache = {}
+
+        def record(self):
+            with self._cond:
+                self.stats.queries += 1
+                self._cache["x"] = 1
+
+        def sneak(self):
+            self._cache["y"] = 2
+    """
+            },
+            select=["lock-discipline"],
+        )
+        (hit,) = rule_hits(report, "lock-discipline")
+        assert "self._cache" in hit.message
+
+    def test_suppression_comment_silences(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": LOCKED_COUNTER
+                % """
+        def reset(self):
+            self.total = 0  # repro: ignore[lock-discipline] -- test-only reset
+    """
+            },
+            select=["lock-discipline"],
+        )
+        assert report.findings == ()
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "lock-discipline"
+
+
+# ----------------------------------------------------------------------
+# registry-purity
+# ----------------------------------------------------------------------
+ENGINE_MODULE = """
+    class ResistanceEngine:
+        pass
+
+    class ExactEngine(ResistanceEngine):
+        pass
+
+    def build_engine(graph, method):
+        return ExactEngine()
+"""
+
+
+class TestRegistryPurity:
+    def test_direct_instantiation_outside_factory_fires(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "engine.py": ENGINE_MODULE,
+                "caller.py": """
+    from engine import ExactEngine
+
+    def use(graph):
+        return ExactEngine()
+    """,
+            },
+            select=["registry-purity"],
+        )
+        (hit,) = rule_hits(report, "registry-purity")
+        assert hit.path.endswith("caller.py")
+        assert "ExactEngine" in hit.message
+
+    def test_factory_call_is_quiet(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "engine.py": ENGINE_MODULE,
+                "caller.py": """
+    from engine import build_engine
+
+    def use(graph):
+        return build_engine(graph, "exact")
+    """,
+            },
+            select=["registry-purity"],
+        )
+        assert report.findings == ()
+
+    def test_factory_module_itself_is_exempt(self, tmp_path):
+        # build_engine's own module may instantiate engine classes freely
+        report = analyse(
+            tmp_path, {"engine.py": ENGINE_MODULE}, select=["registry-purity"]
+        )
+        assert report.findings == ()
+
+    def test_decorated_registration_counts_as_engine_class(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "engine.py": """
+    def register_engine(name, params=()):
+        def decorate(cls):
+            return cls
+        return decorate
+
+    def build_engine(graph, method):
+        return None
+
+    @register_engine("fancy")
+    class FancyEngine:
+        pass
+    """,
+                "caller.py": """
+    from engine import FancyEngine
+
+    def use():
+        return FancyEngine()
+    """,
+            },
+            select=["registry-purity"],
+        )
+        (hit,) = rule_hits(report, "registry-purity")
+        assert "FancyEngine" in hit.message
+
+    def test_isinstance_reference_is_not_a_call(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "engine.py": ENGINE_MODULE,
+                "caller.py": """
+    from engine import ExactEngine
+
+    def check(engine):
+        return isinstance(engine, ExactEngine)
+    """,
+            },
+            select=["registry-purity"],
+        )
+        assert report.findings == ()
+
+
+# ----------------------------------------------------------------------
+# config-persistence-drift
+# ----------------------------------------------------------------------
+CONFIG_MODULE = """
+    from dataclasses import dataclass
+
+    def register_engine(name, params=()):
+        def decorate(cls):
+            return cls
+        return decorate
+
+    @dataclass(frozen=True)
+    class EngineConfig:
+        method: str = "cholinv"
+        epsilon: float = 1e-3
+        build_workers: int = 1
+
+    @register_engine("cholinv", params=("epsilon", "build_workers"))
+    class CholInv:
+        pass
+"""
+
+
+class TestConfigPersistenceDrift:
+    def test_save_missing_param_fires(self, tmp_path):
+        # the PR-5 incident: a new registered param never written to disk
+        report = analyse(
+            tmp_path,
+            {
+                "engine.py": CONFIG_MODULE,
+                "persistence.py": """
+    from engine import EngineConfig
+
+    def save_engine(engine, path):
+        return EngineConfig(method="cholinv", epsilon=engine.epsilon)
+    """,
+            },
+            select=["config-persistence-drift"],
+        )
+        hits = rule_hits(report, "config-persistence-drift")
+        assert any("build_workers" in h.message for h in hits)
+
+    def test_restore_missing_param_fires(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "engine.py": CONFIG_MODULE,
+                "persistence.py": """
+    from engine import EngineConfig
+
+    def save_engine(engine, path):
+        return EngineConfig(
+            method="cholinv",
+            epsilon=engine.epsilon,
+            build_workers=engine.build_workers,
+        )
+
+    class CholInv:
+        @classmethod
+        def from_state(cls, state, config):
+            return (config.epsilon,)
+    """,
+            },
+            select=["config-persistence-drift"],
+        )
+        hits = rule_hits(report, "config-persistence-drift")
+        assert any(
+            "build_workers" in h.message and "from_state" in h.message for h in hits
+        )
+
+    def test_unknown_keyword_fires(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "engine.py": CONFIG_MODULE,
+                "persistence.py": """
+    from engine import EngineConfig
+
+    def save_engine(engine, path):
+        return EngineConfig(
+            method="cholinv",
+            epsilon=engine.epsilon,
+            build_workers=engine.workers,
+            epsilom=0.0,
+        )
+    """,
+            },
+            select=["config-persistence-drift"],
+        )
+        hits = rule_hits(report, "config-persistence-drift")
+        assert any("epsilom" in h.message for h in hits)
+
+    def test_full_coverage_is_quiet(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "engine.py": CONFIG_MODULE,
+                "persistence.py": """
+    from engine import EngineConfig
+
+    def save_engine(engine, path):
+        return EngineConfig(
+            method="cholinv",
+            epsilon=engine.epsilon,
+            build_workers=engine.build_workers,
+        )
+
+    class CholInv:
+        @classmethod
+        def from_state(cls, state, config):
+            return (config.epsilon, config.build_workers)
+    """,
+            },
+            select=["config-persistence-drift"],
+        )
+        assert report.findings == ()
+
+    def test_real_tree_currently_has_no_drift(self):
+        src = Path(__file__).resolve().parents[1] / "src" / "repro"
+        report = run_analysis([src], select=["config-persistence-drift"])
+        assert report.findings == ()
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_legacy_np_random_fires(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "mod.py": """
+    import numpy as np
+
+    def noise(n):
+        return np.random.randn(n)
+    """
+            },
+            select=["determinism"],
+        )
+        (hit,) = rule_hits(report, "determinism")
+        assert "np.random.randn" in hit.message
+
+    def test_seedless_default_rng_fires(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "mod.py": """
+    import numpy as np
+
+    def noise(n):
+        return np.random.default_rng().normal(size=n)
+    """
+            },
+            select=["determinism"],
+        )
+        assert len(rule_hits(report, "determinism")) == 1
+
+    def test_seeded_default_rng_is_quiet(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "mod.py": """
+    import numpy as np
+
+    def noise(n, seed):
+        return np.random.default_rng(seed).normal(size=n)
+    """
+            },
+            select=["determinism"],
+        )
+        assert report.findings == ()
+
+    def test_stdlib_random_fires(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "mod.py": """
+    import random
+
+    def pick(items):
+        return random.choice(items)
+    """
+            },
+            select=["determinism"],
+        )
+        assert len(rule_hits(report, "determinism")) == 1
+
+    def test_time_time_fires_only_in_build_dirs(self, tmp_path):
+        source = """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+        report = analyse(
+            tmp_path,
+            {"core/factor.py": source, "service/front.py": source},
+            select=["determinism"],
+        )
+        (hit,) = rule_hits(report, "determinism")
+        assert hit.path.endswith("core/factor.py")
+
+    def test_perf_counter_is_quiet_everywhere(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "core/factor.py": """
+    import time
+
+    def stamp():
+        return time.perf_counter()
+    """
+            },
+            select=["determinism"],
+        )
+        assert report.findings == ()
+
+    def test_suppression_comment_silences(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "mod.py": """
+    import numpy as np
+
+    def noise(n):
+        return np.random.randn(n)  # repro: ignore[determinism] -- bench warm-up only
+    """
+            },
+            select=["determinism"],
+        )
+        assert report.findings == ()
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# boundary-validation
+# ----------------------------------------------------------------------
+class TestBoundaryValidation:
+    def test_unvalidated_public_method_fires(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    class QueryService:
+        def query_pairs(self, pairs):
+            return self.engine.query_pairs(pairs)
+    """
+            },
+            select=["boundary-validation"],
+        )
+        (hit,) = rule_hits(report, "boundary-validation")
+        assert "query_pairs" in hit.message
+
+    def test_direct_validation_is_quiet(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    from engine import validate_node_ids
+
+    class QueryService:
+        def query_pairs(self, pairs):
+            validate_node_ids(pairs, self.n)
+            return self.engine.query_pairs(pairs)
+    """
+            },
+            select=["boundary-validation"],
+        )
+        assert report.findings == ()
+
+    def test_delegation_chain_is_credited(self, tmp_path):
+        # query -> query_pairs -> submit, only submit validates
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    from engine import validate_node_ids
+
+    class QueryService:
+        def query(self, pairs):
+            return self.query_pairs(pairs)
+
+        def query_pairs(self, pairs):
+            return self.submit(pairs)
+
+        def submit(self, pairs):
+            validate_node_ids(pairs, self.n)
+            return self.engine.query_pairs(pairs)
+    """
+            },
+            select=["boundary-validation"],
+        )
+        assert report.findings == ()
+
+    def test_private_methods_and_non_services_are_exempt(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    class QueryService:
+        def _query_pairs(self, pairs):
+            return self.engine.query_pairs(pairs)
+
+    class QueryHelper:
+        def query_pairs(self, pairs):
+            return self.engine.query_pairs(pairs)
+    """
+            },
+            select=["boundary-validation"],
+        )
+        assert report.findings == ()
+
+    def test_methods_without_node_params_are_exempt(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    class StatsService:
+        def snapshot(self):
+            return dict(self._stats)
+
+        def set_limit(self, limit):
+            self._limit = limit
+    """
+            },
+            select=["boundary-validation"],
+        )
+        assert report.findings == ()
+
+
+# ----------------------------------------------------------------------
+# mutable-default-args
+# ----------------------------------------------------------------------
+class TestMutableDefaults:
+    def test_literal_and_call_defaults_fire(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "mod.py": """
+    def f(xs=[]):
+        return xs
+
+    def g(*, cache=dict()):
+        return cache
+    """
+            },
+            select=["mutable-default-args"],
+        )
+        hits = rule_hits(report, "mutable-default-args")
+        assert len(hits) == 2
+        assert {h.line for h in hits} == {2, 5}
+
+    def test_none_and_immutable_defaults_are_quiet(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "mod.py": """
+    def f(xs=None, k=3, name="x", pair=(1, 2)):
+        return xs or []
+    """
+            },
+            select=["mutable-default-args"],
+        )
+        assert report.findings == ()
+
+    def test_suppression_comment_silences(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "mod.py": """
+    def f(xs=[]):  # repro: ignore[mutable-default-args] -- sentinel, never mutated
+        return xs
+    """
+            },
+            select=["mutable-default-args"],
+        )
+        assert report.findings == ()
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# cross-cutting framework behaviour
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_bare_ignore_suppresses_every_rule(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "mod.py": """
+    def f(xs=[]):  # repro: ignore
+        return xs
+    """
+            },
+            select=["mutable-default-args"],
+        )
+        assert report.findings == ()
+        assert len(report.suppressed) == 1
+
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        report = analyse(tmp_path, {"broken.py": "def f(:\n"})
+        (hit,) = report.findings
+        assert hit.rule == "parse-error"
+        assert hit.severity == "error"
+
+    def test_unknown_select_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            analyse(tmp_path, {"mod.py": "x = 1\n"}, select=["no-such-rule"])
+
+    def test_findings_are_sorted_and_deduplicated(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "a.py": "def f(xs=[]):\n    return xs\n",
+                "b.py": "def g(ys=[]):\n    return ys\n",
+            },
+            select=["mutable-default-args"],
+        )
+        paths = [f.path for f in report.findings]
+        assert paths == sorted(paths)
+        assert len(set(report.findings)) == len(report.findings)

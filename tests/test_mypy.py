@@ -1,0 +1,46 @@
+"""Type-check gate for the strict islands (``repro.analysis``, engine core).
+
+mypy is not part of the runtime dependency set and is absent from the
+offline dev image, so this test self-skips when it is missing; the CI
+``lint`` job installs a pinned mypy and runs there.  Keeping the gate as
+a pytest test means `pytest tests/test_mypy.py` and CI agree on exactly
+which files are strict.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+STRICT_TARGETS = [
+    "src/repro/analysis",
+    "src/repro/core/engine.py",
+]
+
+
+def test_strict_islands_type_check():
+    env = dict(os.environ)
+    env["MYPYPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            str(REPO_ROOT / "pyproject.toml"),
+            *STRICT_TARGETS,
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,93 @@
+"""Round-trip regression test for config↔persistence drift.
+
+The executable twin of the ``config-persistence-drift`` lint rule: build
+a cholinv engine whose config sets a *non-default* value for every field
+the engine registers, save it, load it, and compare field by field.  If
+someone adds a registered param without teaching ``save_engine`` /
+``from_state`` about it, the loaded config silently falls back to the
+default — exactly the bug this test (and the rule) exists to catch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    EngineConfig,
+    build_engine,
+    engine_params,
+    registered_engines,
+)
+from repro.core.persistence import load_engine, save_engine
+from repro.graphs.generators import fe_mesh_2d
+
+# one deliberately non-default value per cholinv-registered field; the
+# assertion below forces this dict to track the registration exactly
+NON_DEFAULTS = {
+    "epsilon": 2e-4,
+    "drop_tol": 5e-4,
+    "ordering": "natural",
+    "mode": "reference",
+    "small_column_threshold": 7.5,
+    "ground_value": 1.25,
+    "build_workers": 2,
+}
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return fe_mesh_2d(6, 6, seed=3)
+
+
+def test_non_defaults_cover_registration_exactly():
+    # adding a param to @register_engine("cholinv", ...) must force an
+    # update here (and, transitively, in save_engine/from_state)
+    assert set(NON_DEFAULTS) == set(engine_params("cholinv"))
+
+
+def test_every_non_default_differs_from_the_default():
+    defaults = EngineConfig()
+    for name, value in NON_DEFAULTS.items():
+        assert value != getattr(defaults, name), name
+
+
+def test_cholinv_config_round_trips_field_by_field(mesh, tmp_path):
+    config = EngineConfig(method="cholinv", **NON_DEFAULTS)
+    engine = build_engine(mesh, config)
+    restored = load_engine(save_engine(engine, tmp_path / "engine.npz"))
+    assert restored.config is not None
+    for field in ("method", *engine_params("cholinv")):
+        assert getattr(restored.config, field) == getattr(config, field), (
+            f"config field {field!r} did not survive save/load"
+        )
+
+
+def test_round_tripped_engine_answers_identically(mesh, tmp_path):
+    engine = build_engine(mesh, EngineConfig(method="cholinv", **NON_DEFAULTS))
+    restored = load_engine(save_engine(engine, tmp_path / "engine.npz"))
+    rng = np.random.default_rng(11)
+    pairs = rng.integers(0, mesh.num_nodes, size=(32, 2))
+    np.testing.assert_array_equal(
+        engine.query_pairs(pairs), restored.query_pairs(pairs)
+    )
+
+
+def test_config_fields_are_a_superset_of_every_registration():
+    # no engine may register a param EngineConfig doesn't carry (enforced
+    # at registration time too; this pins it for all shipped engines)
+    fields = {f.name for f in dataclasses.fields(EngineConfig)}
+    for name in registered_engines():
+        missing = set(engine_params(name)) - fields
+        assert not missing, f"{name} registers unknown fields {sorted(missing)}"
+
+
+def test_non_persistable_engines_say_so(mesh, tmp_path):
+    for name in registered_engines():
+        if name == "cholinv":
+            continue
+        engine = build_engine(mesh, EngineConfig(method=name, seed=0))
+        with pytest.raises(NotImplementedError):
+            engine.save(tmp_path / f"{name}.npz")
