@@ -24,6 +24,13 @@ and fans a sharded engine's component builds out over N threads — with
 wall-clock.  Lazy sharded engines can pre-build everything with
 ``engine.warm_up(workers=N)``.
 
+Sharding itself now goes *inside* a component:
+``EngineConfig(shard_strategy="separator")`` splits one large component
+into vertex-separator-bounded regions (so region factors build
+independently and in parallel) and answers cross-region pairs exactly
+through a dense Schur complement on the separator — demonstrated at the
+end on the single-component mesh.
+
 Run:  python examples/quickstart.py
 """
 
@@ -174,6 +181,36 @@ def main() -> None:
         f"{report.trivial_rows} trivial, {report.cache_hit_rows} cache hits, "
         f"{report.unique_misses} engine misses over "
         f"{report.shards_touched} shard(s) [{report.executor} executor]"
+    )
+
+    # separator sharding: component sharding buys nothing on ONE huge
+    # component, so shard_strategy="separator" splits it internally —
+    # vertex-separator-bounded regions factor independently (in parallel)
+    # and cross-region pairs go through a small dense Schur complement on
+    # the separator, exactly (given the region factors)
+    t0 = time.perf_counter()
+    partitioned = build_engine(
+        graph,
+        EngineConfig(
+            epsilon=1e-3, drop_tol=1e-3,
+            shard_strategy="separator", build_workers=2,
+        ),
+    )
+    t_part = time.perf_counter() - t0
+    report = partitioned.partition_report()
+    sep = report["separators"][0]
+    print(
+        f"\nseparator-sharded engine on the single {graph.num_nodes}-node "
+        f"component: {report['num_shards']} regions "
+        f"{[int(s) for s in report['shard_sizes']]}, "
+        f"separator {report['separator_size']} nodes "
+        f"({100 * sep.separator_fraction:.1f}%), built in {t_part:.2f}s"
+    )
+    part_values = partitioned.query_pairs(pairs)
+    rel_part = np.abs(part_values - truth) / truth
+    print(
+        f"region-sharded answers vs exact: Ea={rel_part.mean():.2e}  "
+        f"Em={rel_part.max():.2e}  (monolithic Em={rel.max():.2e})"
     )
 
 

@@ -16,16 +16,20 @@ protocol and registers under a short name (``"cholinv"``, ``"exact"``,
 ``"random_projection"``, ``"naive"``); :func:`~repro.core.engine.build_engine`
 is the one factory the convenience API, the service layer, the bench
 harness and the CLI dispatch through.  ``EngineConfig(sharded=True)``
-serves each connected component from its own sub-engine
-(:class:`~repro.core.sharded.ShardedEngine`).
+serves each connected component from its own sub-engine, and
+``EngineConfig(shard_strategy="separator")`` goes further — it splits one
+large component into vertex-separator-bounded regions and answers
+cross-region pairs exactly through a dense Schur complement on the
+separator (:class:`~repro.core.partitioned.PartitionedEngine`).
 
 Layers
 ------
 * :mod:`repro.graphs` — graph container, Laplacians, generators, IO;
 * :mod:`repro.cholesky` — sparse complete/incomplete Cholesky substrate;
 * :mod:`repro.core` — the paper's Alg. 2 / Alg. 3 and error analysis, the
-  engine protocol/registry (:mod:`repro.core.engine`), component sharding
-  (:mod:`repro.core.sharded`) and engine persistence
+  engine protocol/registry (:mod:`repro.core.engine`), partitioned /
+  component sharding (:mod:`repro.core.partitioned`,
+  :mod:`repro.core.sharded`) and engine persistence
   (:mod:`repro.core.persistence`);
 * :mod:`repro.baselines` — WWW'15 random projection and the naive method
   (registered engines like everything else);
@@ -62,6 +66,7 @@ from repro.core.engine import (
     registered_engines,
 )
 from repro.core.error_bounds import estimate_query_errors, theorem1_bound
+from repro.core.partitioned import PartitionedEngine, ShardPlan
 from repro.core.persistence import load_engine, save_engine
 from repro.core.sharded import ShardedEngine
 from repro.graphs.generators import (
@@ -76,6 +81,7 @@ from repro.graphs.generators import (
     random_geometric_graph,
     rmat_graph,
     star_graph,
+    stochastic_block_model,
     watts_strogatz_graph,
 )
 from repro.graphs.graph import Graph
@@ -108,6 +114,8 @@ __all__ = [
     "registered_engines",
     "build_engine",
     "ShardedEngine",
+    "PartitionedEngine",
+    "ShardPlan",
     "save_engine",
     "load_engine",
     "CholInvEffectiveResistance",
@@ -133,6 +141,7 @@ __all__ = [
     "fe_mesh_2d",
     "fe_mesh_3d",
     "barabasi_albert_graph",
+    "stochastic_block_model",
     "watts_strogatz_graph",
     "rmat_graph",
     "random_geometric_graph",

@@ -33,8 +33,13 @@ def _graph_from_matrix(matrix: sp.spmatrix) -> Graph:
     return Graph(matrix.shape[0], heads, tails, np.ones(heads.shape[0]))
 
 
-def _vertex_separator(graph: Graph, side: np.ndarray) -> np.ndarray:
-    """Turn an edge cut into a vertex separator (smaller endpoint side)."""
+def vertex_separator(graph: Graph, side: np.ndarray) -> np.ndarray:
+    """Turn an edge cut into a vertex separator (smaller endpoint side).
+
+    Public because the separator-sharded engine
+    (:mod:`repro.core.partitioned`) reuses exactly this extraction when
+    dissecting one large component into regions.
+    """
     crossing = side[graph.heads] != side[graph.tails]
     left_ends = np.unique(
         np.concatenate(
@@ -88,7 +93,7 @@ def nested_dissection_ordering(
         if not side.any() or side.all():
             order.extend(int(v) for v in nodes)  # could not split further
             return
-        separator_local = _vertex_separator(sub, side)
+        separator_local = vertex_separator(sub, side)
         in_separator = np.zeros(sub.num_nodes, dtype=bool)
         in_separator[separator_local] = True
         left_local = np.flatnonzero(side & ~in_separator)

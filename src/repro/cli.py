@@ -63,6 +63,9 @@ def _engine_config(args):
         ordering=args.ordering, mode=args.mode, seed=args.seed,
         sharded=args.sharded, lazy_shards=args.lazy_shards,
         build_workers=args.build_workers,
+        shard_strategy=args.shard_strategy,
+        max_shard_nodes=args.max_shard_nodes,
+        separator=args.separator,
     )
 
 
@@ -84,6 +87,43 @@ def _save_engine(engine, path) -> None:
     print(f"engine saved to {saved}", file=sys.stderr)
 
 
+def _print_partition_report(engine) -> None:
+    """Pretty-print PartitionedEngine.partition_report() (er --partition-report)."""
+    from repro.core.partitioned import PartitionedEngine
+
+    if not isinstance(engine, PartitionedEngine):
+        raise SystemExit(
+            "--partition-report needs a sharded engine; add --sharded or "
+            "--shard-strategy separator"
+        )
+    report = engine.partition_report()
+    out = sys.stderr
+    print(
+        f"partition: strategy={report['strategy']} "
+        f"shards={report['num_shards']} "
+        f"components={report['num_components']} "
+        f"split_components={report['split_components']} "
+        f"separator_size={report['separator_size']}",
+        file=out,
+    )
+    part = report["partition"]
+    print(
+        f"  blocks: sizes={report['shard_sizes']} "
+        f"imbalance={part.imbalance:.3f} cut_weight={part.cut_weight:.4g}",
+        file=out,
+    )
+    for sq in report["separators"]:
+        print(
+            f"  component {sq.component}: regions={sq.num_regions} "
+            f"sizes={sq.region_sizes.tolist()} "
+            f"separator={sq.separator_size} "
+            f"({100.0 * sq.separator_fraction:.1f}% of component) "
+            f"imbalance={sq.imbalance:.3f} "
+            f"coupling_weight={sq.coupling_weight:.4g}",
+            file=out,
+        )
+
+
 def cmd_er(args) -> int:
     """Compute effective resistances and print/save them."""
     from repro.core.engine import build_engine
@@ -99,6 +139,8 @@ def cmd_er(args) -> int:
         graph = _load_graph(args)
         engine = build_engine(graph, _engine_config(args))
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges", file=sys.stderr)
+    if args.partition_report:
+        _print_partition_report(engine)
     if args.save_engine:
         _save_engine(engine, args.save_engine)
     if args.pairs:
@@ -336,6 +378,21 @@ def _add_graph_engine_arguments(parser) -> None:
                         help="one sub-engine per connected component")
     parser.add_argument("--lazy-shards", dest="lazy_shards", action="store_true",
                         help="with --sharded, build each shard on first query")
+    parser.add_argument("--shard-strategy", dest="shard_strategy",
+                        default="component", choices=["component", "separator"],
+                        help="how shards map to the graph: one per connected "
+                             "component (default) or vertex-separator regions "
+                             "within large components with Schur-complement "
+                             "cross-region queries (implies sharding)")
+    parser.add_argument("--max-shard-nodes", dest="max_shard_nodes",
+                        type=int, default=None, metavar="N",
+                        help="with --shard-strategy separator, split any "
+                             "component above N nodes into regions of at "
+                             "most N nodes (default: size/4 per component)")
+    parser.add_argument("--separator", default="bisection",
+                        choices=["bisection", "kway"],
+                        help="separator construction for "
+                             "--shard-strategy separator")
     parser.add_argument("--build-workers", dest="build_workers", type=int,
                         default=1, metavar="N",
                         help="threads used to build the engine: large Alg. 2 "
@@ -359,6 +416,10 @@ def build_parser() -> argparse.ArgumentParser:
     er = sub.add_parser("er", help="compute effective resistances")
     _add_graph_engine_arguments(er)
     er.add_argument("--pairs", nargs="*", help='queries like "12,97" (default: all edges)')
+    er.add_argument("--partition-report", dest="partition_report",
+                    action="store_true",
+                    help="print shard/separator quality diagnostics "
+                         "(needs --sharded or --shard-strategy separator)")
     er.add_argument("--output", default="-", help="CSV path or - for stdout")
     er.set_defaults(func=cmd_er)
 

@@ -8,7 +8,12 @@
   through;
 * :mod:`repro.core.effective_resistance` — Alg. 3 plus exact effective
   resistances and the high-level query API;
-* :mod:`repro.core.sharded` — the component-sharded composite engine;
+* :mod:`repro.core.partitioned` — the partitioned composite engine:
+  :class:`~repro.core.partitioned.ShardPlan` shard plans (per-component or
+  within-component vertex-separator regions) and the Schur-complement
+  cross-region query path;
+* :mod:`repro.core.sharded` — the classic component-sharded engine, now a
+  thin alias over the partitioned layer;
 * :mod:`repro.core.persistence` — save/load built Alg. 3 engines (warm
   starts);
 * :mod:`repro.core.error_bounds` — Theorem 1 / Eq. (25)–(26) machinery and
@@ -35,6 +40,7 @@ from repro.core.error_bounds import (
     estimate_query_errors,
     theorem1_bound,
 )
+from repro.core.partitioned import PartitionedEngine, ShardPlan, make_plan
 from repro.core.persistence import load_engine, save_engine
 from repro.core.sharded import ShardedEngine
 from repro.core.truncation import truncate_relative_1norm
@@ -49,6 +55,9 @@ __all__ = [
     "registered_engines",
     "build_engine",
     "ShardedEngine",
+    "PartitionedEngine",
+    "ShardPlan",
+    "make_plan",
     "save_engine",
     "load_engine",
     "CholInvEffectiveResistance",

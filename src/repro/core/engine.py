@@ -125,9 +125,25 @@ class EngineConfig:
     seed:
         RNG seed for randomised engines.
     sharded:
-        Build one sub-engine per connected component
+        Build one sub-engine per shard
         (:class:`~repro.core.sharded.ShardedEngine`) instead of factoring
-        the whole graph at once.
+        the whole graph at once; what a shard *is* comes from
+        ``shard_strategy``.
+    shard_strategy:
+        ``"component"`` (default: one shard per connected component) or
+        ``"separator"`` (components larger than ``max_shard_nodes`` are
+        additionally split into separator-bounded regions, with exact
+        Schur-complement cross-region queries — see
+        :mod:`repro.core.partitioned`).  Any non-default strategy implies
+        ``sharded``.
+    max_shard_nodes:
+        With ``shard_strategy="separator"``, the target region size; a
+        component at or below it stays one whole shard.  ``None`` picks
+        ``max(512, ceil(component_size / 4))`` per component.
+    separator:
+        Separator construction method — ``"bisection"`` (recursive
+        bisection + vertex separators, nested-dissection shape, default)
+        or ``"kway"`` (k-way partition + greedy cover of crossing edges).
     lazy_shards:
         With ``sharded``, defer each shard's build to its first query.
     build_workers:
@@ -153,6 +169,9 @@ class EngineConfig:
     rtol: float = 1e-10
     seed: "int | None" = None
     sharded: bool = False
+    shard_strategy: str = "component"
+    max_shard_nodes: "int | None" = None
+    separator: str = "bisection"
     lazy_shards: bool = False
     build_workers: int = 1
 
@@ -160,6 +179,19 @@ class EngineConfig:
         require(
             self.build_workers >= 1,
             f"build_workers must be >= 1, got {self.build_workers}",
+        )
+        require(
+            self.shard_strategy in ("component", "separator"),
+            f"shard_strategy must be 'component' or 'separator', "
+            f"got {self.shard_strategy!r}",
+        )
+        require(
+            self.separator in ("bisection", "kway"),
+            f"separator must be 'bisection' or 'kway', got {self.separator!r}",
+        )
+        require(
+            self.max_shard_nodes is None or self.max_shard_nodes >= 2,
+            f"max_shard_nodes must be None or >= 2, got {self.max_shard_nodes}",
         )
 
     def replace(self, **changes: Any) -> "EngineConfig":
@@ -317,8 +349,9 @@ def build_engine(
 
     ``config`` may be a full :class:`EngineConfig`, a bare method name
     (kwargs then fill the remaining fields), or ``None`` (pure kwargs /
-    all defaults).  ``config.sharded`` wraps the chosen method in a
-    :class:`~repro.core.sharded.ShardedEngine`.
+    all defaults).  ``config.sharded`` — or any ``shard_strategy`` other
+    than ``"component"`` — wraps the chosen method in a
+    :class:`~repro.core.sharded.ShardedEngine` (the partitioned layer).
     """
     if config is None or isinstance(config, str):
         config = config_from_kwargs(config or "cholinv", **kwargs)
@@ -331,7 +364,7 @@ def build_engine(
             f"unknown method {config.method!r}; registered engines: "
             f"{', '.join(sorted(_REGISTRY))}"
         )
-    if config.sharded:
+    if config.sharded or config.shard_strategy != "component":
         from repro.core.sharded import ShardedEngine
 
         engine: ResistanceEngine = ShardedEngine(graph, config)

@@ -1,0 +1,933 @@
+"""Partitioned engines — shards from components *or* vertex separators.
+
+PR 3's component sharding scaled out multi-component graphs, but a
+social-network-shaped input — one giant connected component — still built
+and served as a single monolithic factor.  This module generalises the
+sharding layer so a shard is no longer synonymous with a connected
+component: a :class:`ShardPlan` assigns every node either to a *region*
+(shard) or to a *vertex separator*, and :class:`PartitionedEngine` factors
+each region independently through the ordinary engine registry while
+answering cross-region pairs **exactly** through a small dense Schur
+complement on the separator (PEERS-style parallel exact solve; see
+PAPERS.md).
+
+Two strategies produce plans:
+
+* ``"component"`` — one region per connected component, empty separator.
+  This is exactly the old :class:`~repro.core.sharded.ShardedEngine`
+  behaviour (which is now a thin subclass of this engine).
+* ``"separator"`` — components larger than ``max_shard_nodes`` are split
+  into separator-bounded regions, either by recursive bisection +
+  vertex-separator extraction (``separator="bisection"``, the
+  nested-dissection shape of :mod:`repro.cholesky.nested_dissection`) or
+  by a k-way partition whose crossing edges are covered greedily
+  (``separator="kway"`` via :func:`repro.partition.interface.partition_graph`).
+
+The math (block-arrow decomposition)
+------------------------------------
+Order a split component as regions ``R_1 .. R_k`` followed by the
+separator ``S`` and ground one separator node; the grounded Laplacian
+becomes a block-arrow matrix ``A`` with block-diagonal region part
+``A_ii`` (pure region Laplacians plus the diagonal coupling mass — no
+region–region blocks, because every region–region path crosses ``S``).
+With ``m_pq = e_pᵀ A_ii⁻¹ e_q``, ``u_p = B_iᵀ A_ii⁻¹ e_p`` (``B_i =
+A[R_i, S]``) and the Schur complement ``S_c = A_SS − Σ_i B_iᵀ A_ii⁻¹
+B_i``, the block-inverse identities give one uniform formula for every
+same-component pair::
+
+    R(p, q) = base(p, q) + (u_p − u_q)ᵀ S_c⁻¹ (u_p − u_q)
+
+where ``base = m_pp + m_qq − 2·m_pq·[same region]`` and separator
+endpoints contribute ``u_s = −e_s``, ``m_ss = 0``.
+
+The rim-node gadget makes the region factors reusable engines: region
+``i`` is served by the *halo graph* ``H_i`` — the induced subgraph plus
+one auxiliary rim node ``a`` tied to every boundary node ``v`` with the
+node's total separator coupling ``c_v``.  Then ``A_ii`` equals the
+Laplacian of ``H_i`` with row/column ``a`` deleted, so the deleted-node
+inverse identity turns every ``m`` term into plain effective-resistance
+queries against the *unmodified* registered engine::
+
+    m_pq = (R_H(p, a) + R_H(q, a) − R_H(p, q)) / 2
+
+In particular ``base`` for a same-region pair collapses to exactly
+``R_H(p, q)`` — one engine query — and the correction term needs only
+resistances from batch endpoints to the rim and to the boundary nodes.
+With an exact region engine the whole construction is exact; with the
+Alg. 3 engine the error stays at the region engines' configured level.
+
+``S_c`` itself is assembled per region from
+:func:`repro.reduction.schur.schur_reduce` on ``[[A_ii, B_i], [B_iᵀ,
+0]]`` (the zero kept block makes the reduction return ``−B_iᵀ A_ii⁻¹
+B_i`` directly), which parallelises over regions exactly like shard
+builds; accumulation into ``S_c`` is serialised in shard order so every
+worker count yields bit-identical engines.
+
+The serving stack needs no changes: :meth:`PartitionedEngine.shard_subbatches`
+returns region groups with shard-local pairs (ids ``< num_shards``) plus
+one *cross group* per split component under a pseudo shard id ``>=
+num_shards`` carrying global pairs, and :meth:`PartitionedEngine.query_shard`
+dispatches on the id — so the planner/executor/async layers fan separator
+traffic out exactly like any other shard.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+
+from repro.cholesky.nested_dissection import vertex_separator
+from repro.core.engine import (
+    EngineConfig,
+    ResistanceEngine,
+    as_pair_array,
+    as_pair_columns,
+    build_engine,
+)
+from repro.graphs.components import connected_components
+from repro.graphs.graph import Graph
+from repro.graphs.laplacian import grounded_laplacian
+from repro.partition.interface import partition_graph
+from repro.partition.multilevel import multilevel_bisection
+from repro.reduction.schur import schur_reduce
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+from repro.utils.validation import require
+
+
+# ----------------------------------------------------------------------
+# the plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class ShardPlan:
+    """Node-to-shard assignment with an optional vertex separator.
+
+    Attributes
+    ----------
+    strategy:
+        ``"component"`` or ``"separator"`` — how the plan was produced.
+    num_shards:
+        Number of regions.  Cross-region query groups use pseudo shard ids
+        ``num_shards + j`` (one per split component, in
+        :attr:`split_components` order).
+    shard_of:
+        Region id per node; ``-1`` marks separator nodes.
+    component_labels:
+        Connected-component label per node (separator nodes keep their
+        component's label — a separator never changes reachability).
+    num_components:
+        Number of connected components.
+    separator:
+        Sorted global ids of all separator nodes (empty for the component
+        strategy).
+    """
+
+    strategy: str
+    num_shards: int
+    shard_of: np.ndarray
+    component_labels: np.ndarray
+    num_components: int
+    separator: np.ndarray
+
+    @property
+    def split_components(self) -> np.ndarray:
+        """Sorted components that were split (i.e. own separator nodes)."""
+        if self.separator.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(self.component_labels[self.separator])
+
+    def members(self, shard: int) -> np.ndarray:
+        """Sorted global node ids of one region."""
+        return np.flatnonzero(self.shard_of == shard)
+
+    def validate(self, graph: Graph) -> None:
+        """Structural sanity: every node is a region node xor separator."""
+        require(
+            self.shard_of.shape[0] == graph.num_nodes,
+            "plan does not cover the graph",
+        )
+        in_sep = np.zeros(graph.num_nodes, dtype=bool)
+        in_sep[self.separator] = True
+        require(
+            bool(np.all((self.shard_of >= 0) != in_sep)),
+            "plan nodes must be exactly one of region node / separator node",
+        )
+        if self.num_shards:
+            sizes = np.bincount(
+                self.shard_of[self.shard_of >= 0], minlength=self.num_shards
+            )
+            require(bool(sizes.min() > 0), "plan contains an empty region")
+
+
+def component_plan(graph: Graph) -> ShardPlan:
+    """One region per connected component — the classic sharding plan."""
+    labels, num_components = connected_components(graph)
+    return ShardPlan(
+        strategy="component",
+        num_shards=num_components,
+        shard_of=labels.astype(np.int64, copy=True),
+        component_labels=labels,
+        num_components=num_components,
+        separator=np.empty(0, dtype=np.int64),
+    )
+
+
+def _bisection_regions(
+    sub: Graph, cap: int, rng: np.random.Generator
+) -> "tuple[list[np.ndarray], np.ndarray]":
+    """Recursive bisection + vertex separators until regions fit ``cap``.
+
+    Returns ``(regions, separator)`` in ``sub``-local ids.  Sides emptied
+    by their separator simply vanish (the "fold an empty region away"
+    edge case), and blocks that cannot be split further become regions
+    as-is.
+    """
+    sep_flags = np.zeros(sub.num_nodes, dtype=bool)
+    regions: "list[np.ndarray]" = []
+
+    def dissect(nodes: np.ndarray) -> None:
+        if nodes.size == 0:
+            return
+        if nodes.size <= cap:
+            regions.append(nodes)
+            return
+        block, original = sub.subgraph(nodes)
+        if block.num_edges == 0:
+            regions.append(nodes)
+            return
+        side = multilevel_bisection(block, seed=rng)
+        if not side.any() or side.all():
+            regions.append(nodes)  # could not split further
+            return
+        sep_local = vertex_separator(block, side)
+        in_sep = np.zeros(block.num_nodes, dtype=bool)
+        in_sep[sep_local] = True
+        sep_flags[original[sep_local]] = True
+        dissect(original[np.flatnonzero(side & ~in_sep)])
+        dissect(original[np.flatnonzero(~side & ~in_sep)])
+
+    dissect(np.arange(sub.num_nodes, dtype=np.int64))
+    return regions, np.flatnonzero(sep_flags)
+
+
+def _kway_regions(
+    sub: Graph, cap: int, rng: np.random.Generator
+) -> "tuple[list[np.ndarray], np.ndarray]":
+    """K-way partition + greedy vertex cover of the crossing edges.
+
+    For every crossing edge not yet covered, the endpoint incident to
+    more crossing edges joins the separator (ties break to the smaller
+    id) — a deterministic matching-style cover.  Blocks fully swallowed
+    by the separator contribute no region (they fold into whatever
+    neighbouring regions remain).
+    """
+    k = max(2, -(-sub.num_nodes // cap))
+    labels = partition_graph(sub, min(k, sub.num_nodes), seed=rng)
+    crossing = np.flatnonzero(labels[sub.heads] != labels[sub.tails])
+    sep_flags = np.zeros(sub.num_nodes, dtype=bool)
+    if crossing.size:
+        heads, tails = sub.heads[crossing], sub.tails[crossing]
+        degree = np.bincount(
+            np.concatenate([heads, tails]), minlength=sub.num_nodes
+        )
+        for h, t in zip(heads.tolist(), tails.tolist()):
+            if sep_flags[h] or sep_flags[t]:
+                continue
+            if (degree[h], -h) >= (degree[t], -t):
+                sep_flags[h] = True
+            else:
+                sep_flags[t] = True
+    regions = []
+    for b in range(int(labels.max()) + 1 if labels.size else 0):
+        members = np.flatnonzero((labels == b) & ~sep_flags)
+        if members.size:  # empty / separator-only blocks fold away
+            regions.append(members)
+    return regions, np.flatnonzero(sep_flags)
+
+
+def separator_plan(
+    graph: Graph,
+    max_shard_nodes: "int | None" = None,
+    method: str = "bisection",
+    seed: "int | np.random.Generator | None" = 0,
+) -> ShardPlan:
+    """Split oversized components into separator-bounded regions.
+
+    Parameters
+    ----------
+    max_shard_nodes:
+        Target region size; components at or below it stay whole regions
+        (and need no separator machinery at all).  ``None`` picks, per
+        component, ``max(512, ceil(size / 4))`` — roughly four regions
+        for anything big enough to be worth splitting.
+    method:
+        ``"bisection"`` (recursive bisection + vertex separators, the
+        nested-dissection shape) or ``"kway"`` (k-way partition + greedy
+        cover of the crossing edges).
+    seed:
+        Seed for the randomised coarsening inside the partitioner.
+    """
+    require(
+        method in ("bisection", "kway"),
+        f"unknown separator method {method!r} (use 'bisection' or 'kway')",
+    )
+    require(
+        max_shard_nodes is None or max_shard_nodes >= 2,
+        f"max_shard_nodes must be >= 2, got {max_shard_nodes}",
+    )
+    rng = ensure_rng(seed)
+    labels, num_components = connected_components(graph)
+    shard_of = np.full(graph.num_nodes, -1, dtype=np.int64)
+    sep_flags = np.zeros(graph.num_nodes, dtype=bool)
+    next_shard = 0
+    for comp in range(num_components):
+        members = np.flatnonzero(labels == comp)
+        cap = (
+            max(512, -(-members.size // 4))
+            if max_shard_nodes is None
+            else int(max_shard_nodes)
+        )
+        if members.size <= cap:
+            shard_of[members] = next_shard
+            next_shard += 1
+            continue
+        sub, original = graph.subgraph(members)
+        if method == "bisection":
+            regions, sep_local = _bisection_regions(sub, cap, rng)
+        else:
+            regions, sep_local = _kway_regions(sub, cap, rng)
+        if len(regions) <= 1:
+            # nothing was gained: fold the separator back and keep the
+            # component as one ordinary region
+            shard_of[members] = next_shard
+            next_shard += 1
+            continue
+        sep_flags[original[sep_local]] = True
+        for region in regions:
+            shard_of[original[region]] = next_shard
+            next_shard += 1
+    plan = ShardPlan(
+        strategy="separator",
+        num_shards=next_shard,
+        shard_of=shard_of,
+        component_labels=labels,
+        num_components=num_components,
+        separator=np.flatnonzero(sep_flags),
+    )
+    plan.validate(graph)
+    return plan
+
+
+def make_plan(graph: Graph, config: EngineConfig) -> ShardPlan:
+    """Dispatch on ``config.shard_strategy``."""
+    if config.shard_strategy == "separator":
+        return separator_plan(
+            graph,
+            max_shard_nodes=config.max_shard_nodes,
+            method=config.separator,
+            seed=0 if config.seed is None else config.seed,
+        )
+    return component_plan(graph)
+
+
+# ----------------------------------------------------------------------
+# the separator (Schur) system of one split component
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class SeparatorSystem:
+    """Dense Schur complement on one split component's separator.
+
+    ``schur`` is ``S_c = A_SS − Σ_i B_iᵀ A_ii⁻¹ B_i`` over the
+    component's separator nodes (sorted global ids in ``sep_nodes``),
+    SPD because it is the Schur complement of the grounded component
+    Laplacian; ``cho`` is its Cholesky factorisation ready for
+    :func:`scipy.linalg.cho_solve`.
+    """
+
+    component: int
+    sep_nodes: np.ndarray
+    schur: np.ndarray
+    cho: "tuple[np.ndarray, bool]" = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.cho is None:
+            self.cho = scipy.linalg.cho_factor(self.schur)
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class PartitionedEngine(ResistanceEngine):
+    """Composite engine serving a :class:`ShardPlan` behind the protocol.
+
+    Parameters
+    ----------
+    graph:
+        Weighted undirected graph (any number of components).
+    config:
+        Config of the *base* engine each region builds (``method`` plus
+        its tunables) and of the plan (``shard_strategy`` /
+        ``max_shard_nodes`` / ``separator``).  ``config.lazy_shards``
+        defers region builds to first use.
+    lazy:
+        Overrides ``config.lazy_shards`` when given.
+    plan:
+        Pre-computed plan (persistence restore path); by default the plan
+        comes from :func:`make_plan`.
+
+    Notes
+    -----
+    Queries are grouped by region and translated through global↔local id
+    maps; pairs crossing regions (or touching the separator) of a split
+    component are answered through that component's
+    :class:`SeparatorSystem` — exactly, per the module docstring.  Pairs
+    crossing *components* remain ``inf`` without touching any factor,
+    and singleton regions without coupling never build an engine.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: "EngineConfig | str | None" = None,
+        lazy: "bool | None" = None,
+        plan: "ShardPlan | None" = None,
+    ):
+        if config is None:
+            config = EngineConfig()
+        elif isinstance(config, str):
+            config = EngineConfig(method=config)
+        self.graph = graph
+        self.n = graph.num_nodes
+        self.timer = Timer()
+        self.config = config if config.sharded else config.replace(sharded=True)
+        self._shard_config = config.replace(
+            sharded=False, lazy_shards=False, shard_strategy="component"
+        )
+        self.lazy = bool(config.lazy_shards if lazy is None else lazy)
+
+        with self.timer.section("plan"):
+            if plan is None:
+                plan = make_plan(graph, self.config)
+            self.plan = plan
+            self.component_labels = plan.component_labels
+            self.num_shards = plan.num_shards
+            self._index_plan()
+        self._engines: "list[ResistanceEngine | None]" = [None] * self.num_shards
+        self._systems: "dict[int, SeparatorSystem]" = {}
+        self._rim_cache: "dict[int, np.ndarray]" = {}
+        # lazy builds under concurrency: one lock per in-flight shard build
+        # (created on demand), so distinct shards build in parallel while a
+        # given shard is never built twice
+        self._build_locks: "dict[int, threading.Lock]" = {}
+        self._locks_guard = threading.Lock()
+        self._systems_lock = threading.Lock()
+        self._rim_lock = threading.Lock()
+        if not self.lazy:
+            for comp in self._split_components.tolist():
+                self._system(int(comp))
+            eager = [
+                s for s in range(self.num_shards) if self._shard_graph_size(s) > 1
+            ]
+            self._build_shards(eager, self.config.build_workers)
+
+    # ------------------------------------------------------------------
+    # plan indexing (pure derivation from the plan — no factorisation)
+    # ------------------------------------------------------------------
+    def _index_plan(self) -> None:
+        plan = self.plan
+        shard_of = plan.shard_of
+        # members of each region, in ascending global id order; _local maps
+        # a global id to its rank inside its region (or inside its
+        # component's separator list, for separator nodes)
+        order = np.argsort(shard_of, kind="stable")
+        order = order[shard_of[order] >= 0]
+        counts = np.bincount(shard_of[shard_of >= 0], minlength=self.num_shards)
+        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        self._local = np.empty(self.n, dtype=np.int64)
+        self._local[order] = np.arange(order.size) - np.repeat(starts, counts)
+        self._members = np.split(order, np.cumsum(counts)[:-1])
+        # separator nodes rank within their component's sorted separator
+        self._split_components = plan.split_components
+        self._cross_of_component = {
+            int(c): self.num_shards + j
+            for j, c in enumerate(self._split_components.tolist())
+        }
+        self._sep_nodes_of = {}
+        for comp in self._split_components.tolist():
+            sep = plan.separator[
+                self.component_labels[plan.separator] == comp
+            ]
+            self._sep_nodes_of[int(comp)] = sep
+            self._local[sep] = np.arange(sep.size)
+        # per-region coupling to the separator: W[v_local, t_local] is the
+        # total conductance between region node v and separator node t
+        self._coupling: "dict[int, sp.csr_matrix]" = {}
+        self._boundary: "dict[int, np.ndarray]" = {}
+        heads, tails = self.graph.heads, self.graph.tails
+        sep_side = shard_of[heads] < 0
+        one_sep = sep_side != (shard_of[tails] < 0)
+        if one_sep.any():
+            region_end = np.where(sep_side, tails, heads)[one_sep]
+            sep_end = np.where(sep_side, heads, tails)[one_sep]
+            weights = self.graph.weights[one_sep]
+            shards = shard_of[region_end]
+            for s in np.unique(shards).tolist():
+                rows = np.flatnonzero(shards == s)
+                comp = int(self.component_labels[region_end[rows[0]]])
+                width = self._sep_nodes_of[comp].size
+                coupling = sp.coo_matrix(
+                    (
+                        weights[rows],
+                        (
+                            self._local[region_end[rows]],
+                            self._local[sep_end[rows]],
+                        ),
+                    ),
+                    shape=(self._members[s].size, width),
+                ).tocsr()
+                coupling.sum_duplicates()
+                self._coupling[int(s)] = coupling
+                self._boundary[int(s)] = np.flatnonzero(
+                    np.diff(coupling.indptr) > 0
+                )
+
+    def _shard_graph_size(self, shard: int) -> int:
+        return self._members[shard].size + (1 if shard in self._coupling else 0)
+
+    def _shard_graph(self, shard: int) -> Graph:
+        """The graph region ``shard``'s engine serves.
+
+        Plain induced subgraph for component shards and unsplit-component
+        regions; for a region of a split component, the *halo graph*: the
+        subgraph plus one rim node (id ``len(members)``) tied to every
+        boundary node with its total separator coupling (the module
+        docstring's gadget).
+        """
+        members = self._members[shard]
+        sub, _ = self.graph.subgraph(members)
+        coupling = self._coupling.get(shard)
+        if coupling is None:
+            return sub
+        strengths = np.asarray(coupling.sum(axis=1)).ravel()
+        boundary = self._boundary[shard]
+        rim = members.size
+        return Graph(
+            rim + 1,
+            np.concatenate([sub.heads, boundary]),
+            np.concatenate([sub.tails, np.full(boundary.size, rim)]),
+            np.concatenate([sub.weights, strengths[boundary]]),
+        )
+
+    # ------------------------------------------------------------------
+    # region engine builds (lazy / eager / parallel — as component shards)
+    # ------------------------------------------------------------------
+    @property
+    def shards_built(self) -> int:
+        """How many region engines exist right now (grows lazily)."""
+        return sum(engine is not None for engine in self._engines)
+
+    def shard_sizes(self) -> np.ndarray:
+        """Node count of every region (rim nodes not counted)."""
+        return np.array([m.size for m in self._members], dtype=np.int64)
+
+    def _shard(
+        self, shard: int, config: "EngineConfig | None" = None
+    ) -> ResistanceEngine:
+        engine = self._engines[shard]
+        if engine is not None:
+            return engine
+        with self._locks_guard:
+            lock = self._build_locks.setdefault(shard, threading.Lock())
+        with lock:
+            if self._engines[shard] is None:
+                with self.timer.section("shard_build"):
+                    sub = self._shard_graph(shard)
+                    self._engines[shard] = build_engine(
+                        sub, self._shard_config if config is None else config
+                    )
+        return self._engines[shard]
+
+    def _build_shards(self, shards: "list[int]", workers: int) -> None:
+        """Build the given shards, fanning out over ``workers`` threads.
+
+        The shards are the primary parallel unit; any whole-number worker
+        surplus beyond the shard count is divided among the sub-builds as
+        Alg. 2 level parallelism (``workers // len(shards)`` each), so
+        the pool is never oversubscribed.  Either way the resulting
+        engines are bit-identical — worker counts never change engine
+        math.
+        """
+        if workers > 1 and len(shards) > 1:
+            per_shard = self._shard_config.replace(
+                build_workers=max(1, workers // len(shards))
+            )
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=min(workers, len(shards)),
+                thread_name_prefix="shard-build",
+            ) as pool:
+                # list() drains the iterator so worker exceptions propagate
+                list(pool.map(lambda c: self._shard(c, per_shard), shards))
+        elif workers > 1:
+            # a single pending shard gets the whole budget as Alg. 2
+            # level parallelism
+            per_shard = self._shard_config.replace(build_workers=workers)
+            for c in shards:
+                self._shard(c, per_shard)
+        else:
+            for c in shards:
+                self._shard(c)
+
+    def warm_up(self, workers: "int | None" = None) -> int:
+        """Build every not-yet-built region engine (and separator system).
+
+        Gives a lazy engine the cold-start profile of an eager one without
+        giving up lazy construction.  Safe to call from several threads
+        and concurrently with queries — every build goes through the same
+        per-shard locks as lazy first-touch builds, so no shard is ever
+        built twice.
+
+        Returns the number of shards that were cold when this call
+        started (0 means the engine was already fully warm).
+        """
+        effective = self.config.build_workers if workers is None else int(workers)
+        require(effective >= 1, f"workers must be >= 1, got {workers}")
+        for comp in self._split_components.tolist():
+            self._system(int(comp))
+        pending = [
+            s
+            for s in range(self.num_shards)
+            if self._shard_graph_size(s) > 1 and self._engines[s] is None
+        ]
+        if pending:
+            self._build_shards(pending, effective)
+        return len(pending)
+
+    # ------------------------------------------------------------------
+    # the separator system
+    # ------------------------------------------------------------------
+    def _system(self, component: int) -> SeparatorSystem:
+        system = self._systems.get(component)
+        if system is not None:
+            return system
+        with self._systems_lock:
+            if component not in self._systems:
+                with self.timer.section("separator_system"):
+                    self._systems[component] = self._build_system(component)
+        return self._systems[component]
+
+    def _build_system(self, component: int) -> SeparatorSystem:
+        """Assemble ``S_c`` for one split component via per-region Schur.
+
+        Per-region reductions run on ``config.build_workers`` threads;
+        the accumulation into ``S_c`` is serialised in shard order, so
+        the assembled matrix is bit-identical at every worker count.
+        """
+        sep_nodes = self._sep_nodes_of[component]
+        comp_members = np.flatnonzero(self.component_labels == component)
+        comp_sub, comp_nodes = self.graph.subgraph(comp_members)
+        sep_local = np.searchsorted(comp_nodes, sep_nodes)
+        ground = self.config.ground_value
+        if ground is None:
+            ground = float(comp_sub.weights.mean())
+        matrix, _ = grounded_laplacian(
+            comp_sub, ground, ground_nodes=sep_local[:1]
+        )
+        matrix = sp.csc_matrix(matrix)
+        schur = matrix[sep_local, :][:, sep_local].toarray()
+        shards = np.unique(self.plan.shard_of[comp_members])
+        shards = shards[shards >= 0].tolist()
+
+        def reduce_region(shard: int) -> "tuple[np.ndarray, np.ndarray]":
+            region_local = np.searchsorted(comp_nodes, self._members[shard])
+            a_ii = matrix[region_local, :][:, region_local]
+            b_full = sp.csc_matrix(matrix[region_local, :][:, sep_local])
+            cols = np.flatnonzero(np.diff(b_full.indptr) > 0)
+            b_narrow = b_full[:, cols]
+            block = sp.bmat(
+                [[a_ii, b_narrow], [b_narrow.T, None]], format="csc"
+            )
+            keep = np.arange(region_local.size, region_local.size + cols.size)
+            reduction = schur_reduce(block, keep)
+            require(
+                reduction.dropped.size == 0,
+                f"region {shard} has interior nodes with no path to the "
+                f"separator — invalid plan",
+            )
+            return cols, reduction.reduced  # −B_iᵀ A_ii⁻¹ B_i
+
+        workers = self.config.build_workers
+        if workers > 1 and len(shards) > 1:
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=min(workers, len(shards)),
+                thread_name_prefix="schur-build",
+            ) as pool:
+                reduced = list(pool.map(reduce_region, shards))
+        else:
+            reduced = [reduce_region(s) for s in shards]
+        for cols, contribution in reduced:  # fixed order: bit-stable sum
+            schur[np.ix_(cols, cols)] += contribution
+        return SeparatorSystem(
+            component=int(component), sep_nodes=sep_nodes, schur=schur
+        )
+
+    # ------------------------------------------------------------------
+    # u-vectors and rim resistances (the correction machinery)
+    # ------------------------------------------------------------------
+    def _rim_base(self, shard: int) -> np.ndarray:
+        """Cached ``R_H(v, rim)`` for every boundary node ``v`` of a region."""
+        cached = self._rim_cache.get(shard)
+        if cached is not None:
+            return cached
+        engine = self._shard(shard)
+        boundary = self._boundary[shard]
+        rim = self._members[shard].size
+        values = engine.query_pairs(
+            np.column_stack([boundary, np.full(boundary.size, rim)])
+        )
+        with self._rim_lock:
+            # concurrent first computations are identical; keep the first
+            self._rim_cache.setdefault(shard, values)
+        return self._rim_cache[shard]
+
+    def _u_block(
+        self, shard: int, endpoints: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """``(U, m_diag)`` for region-local ``endpoints`` of one region.
+
+        ``U[:, j] = u_{p_j}`` (length = the component's separator size)
+        and ``m_diag[j] = m_{p_j p_j} = R_H(p_j, rim)``, both via plain
+        engine queries per the rim-node identity.
+        """
+        engine = self._shard(shard)
+        boundary = self._boundary[shard]
+        rim = self._members[shard].size
+        rim_p = engine.query_pairs(
+            np.column_stack([endpoints, np.full(endpoints.size, rim)])
+        )
+        rim_b = self._rim_base(shard)
+        grid = engine.query_pairs(
+            np.column_stack(
+                [
+                    np.repeat(boundary, endpoints.size),
+                    np.tile(endpoints, boundary.size),
+                ]
+            )
+        ).reshape(boundary.size, endpoints.size)
+        m = 0.5 * (rim_b[:, None] + rim_p[None, :] - grid)
+        coupling_b = self._coupling[shard][boundary]
+        u = -(coupling_b.T @ m)
+        return u, rim_p
+
+    def _endpoint_vectors(
+        self, component: int, endpoints: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """``(U, m_diag)`` for *global* endpoints of one split component.
+
+        Separator endpoints contribute ``u_s = −e_s`` and ``m_ss = 0``;
+        region endpoints are grouped per region and answered by
+        :meth:`_u_block`.
+        """
+        width = self._sep_nodes_of[component].size
+        u = np.zeros((width, endpoints.size))
+        m_diag = np.zeros(endpoints.size)
+        shard_of = self.plan.shard_of[endpoints]
+        sep_sel = np.flatnonzero(shard_of < 0)
+        u[self._local[endpoints[sep_sel]], sep_sel] = -1.0
+        for s in np.unique(shard_of[shard_of >= 0]).tolist():
+            sel = np.flatnonzero(shard_of == s)
+            u[:, sel], m_diag[sel] = self._u_block(
+                int(s), self._local[endpoints[sel]]
+            )
+        return u, m_diag
+
+    @staticmethod
+    def _correction(
+        system: SeparatorSystem, u: np.ndarray, pair_index: np.ndarray
+    ) -> np.ndarray:
+        """``(u_p − u_q)ᵀ S_c⁻¹ (u_p − u_q)`` per pair, batched."""
+        w = u[:, pair_index[:, 0]] - u[:, pair_index[:, 1]]
+        solved = scipy.linalg.cho_solve(system.cho, w)
+        return np.einsum("ij,ij->j", w, solved)
+
+    # ------------------------------------------------------------------
+    # sub-batch interface (what the serving layer's planner fans out)
+    # ------------------------------------------------------------------
+    def shard_subbatches(
+        self, ps, qs
+    ) -> "list[tuple[int, np.ndarray, np.ndarray]]":
+        """Group within-component pairs into executable sub-batches.
+
+        Returns ``(shard_id, positions, pairs)`` triples: region groups
+        carry shard ids ``< num_shards`` with *shard-local* pairs (the
+        classic component-shard contract), and each split component's
+        cross-region / separator-touching pairs form one group under the
+        pseudo shard id ``num_shards + j`` carrying *global* pairs.
+        :meth:`query_shard` dispatches on the id, so planner/executor
+        code treats both kinds uniformly.  Self pairs and cross-component
+        pairs are excluded — they never need an engine.
+        """
+        ps = np.asarray(ps, dtype=np.int64)
+        qs = np.asarray(qs, dtype=np.int64)
+        labels = self.component_labels
+        active = np.flatnonzero((labels[ps] == labels[qs]) & (ps != qs))
+        if active.size == 0:
+            return []
+        shard_p = self.plan.shard_of[ps[active]]
+        shard_q = self.plan.shard_of[qs[active]]
+        intra_mask = (shard_p == shard_q) & (shard_p >= 0)
+        subbatches = []
+        intra = active[intra_mask]
+        if intra.size:
+            shards = self.plan.shard_of[ps[intra]]
+            order = np.argsort(shards, kind="stable")
+            grouped = intra[order]
+            boundaries = np.flatnonzero(np.diff(shards[order])) + 1
+            for group in np.split(grouped, boundaries):
+                local = np.column_stack(
+                    [self._local[ps[group]], self._local[qs[group]]]
+                )
+                shard = int(self.plan.shard_of[ps[group[0]]])
+                subbatches.append((shard, group, local))
+        cross = active[~intra_mask]
+        if cross.size:
+            components = labels[ps[cross]]
+            order = np.argsort(components, kind="stable")
+            grouped = cross[order]
+            boundaries = np.flatnonzero(np.diff(components[order])) + 1
+            for group in np.split(grouped, boundaries):
+                comp = int(labels[ps[group[0]]])
+                pairs = np.column_stack([ps[group], qs[group]])
+                subbatches.append((self._cross_of_component[comp], group, pairs))
+        return subbatches
+
+    def query_shard(self, shard_id: int, pairs) -> np.ndarray:
+        """Answer one sub-batch from :meth:`shard_subbatches`.
+
+        Region ids (``< num_shards``) take shard-local pairs; pseudo ids
+        (``>= num_shards``) take global pairs and run the Schur path.
+        Builds whatever the group needs first if the engine is lazy and
+        cold; safe to call from several threads at once.
+        """
+        total = self.num_shards + self._split_components.size
+        require(
+            0 <= shard_id < total,
+            f"shard id {shard_id} out of range for {total} shard groups",
+        )
+        pairs = as_pair_array(pairs)
+        if shard_id >= self.num_shards:
+            component = int(self._split_components[shard_id - self.num_shards])
+            return self._query_cross(component, pairs)
+        base = self._shard(shard_id).query_pairs(pairs)
+        if shard_id not in self._coupling:
+            return base
+        # same-region pair in a split component: exact Schur correction
+        component = int(self.component_labels[self._members[shard_id][0]])
+        system = self._system(component)
+        endpoints, inverse = np.unique(pairs.ravel(), return_inverse=True)
+        u, _ = self._u_block(shard_id, endpoints)
+        return base + self._correction(system, u, inverse.reshape(-1, 2))
+
+    def _query_cross(self, component: int, pairs: np.ndarray) -> np.ndarray:
+        """Cross-region / separator pairs of one split component (global ids)."""
+        system = self._system(component)
+        endpoints, inverse = np.unique(pairs.ravel(), return_inverse=True)
+        u, m_diag = self._endpoint_vectors(component, endpoints)
+        pair_index = inverse.reshape(-1, 2)
+        base = m_diag[pair_index[:, 0]] + m_diag[pair_index[:, 1]]
+        return base + self._correction(system, u, pair_index)
+
+    # ------------------------------------------------------------------
+    def query_pairs(self, pairs) -> np.ndarray:
+        """Batch queries routed group-by-group; cross-component → ``inf``."""
+        ps, qs = as_pair_columns(pairs)
+        out = np.full(ps.shape[0], np.inf)
+        with self.timer.section("queries"):
+            for shard_id, group, grouped_pairs in self.shard_subbatches(ps, qs):
+                out[group] = self.query_shard(shard_id, grouped_pairs)
+        out[ps == qs] = 0.0
+        return out
+
+    # ------------------------------------------------------------------
+    # introspection / persistence
+    # ------------------------------------------------------------------
+    def partition_report(self) -> "dict[str, object]":
+        """Plan diagnostics: balance, cut and separator quality.
+
+        Returns a dict with the plan's ``strategy`` / shard counts, the
+        :class:`~repro.partition.interface.PartitionQuality` of the region
+        labelling and one
+        :class:`~repro.partition.interface.SeparatorQuality` per split
+        component — the "why was this partition accepted" report the CLI
+        prints under ``--partition-report``.
+        """
+        from repro.partition.interface import (
+            partition_quality,
+            separator_quality,
+        )
+
+        return {
+            "strategy": self.plan.strategy,
+            "num_shards": int(self.num_shards),
+            "num_components": int(self.plan.num_components),
+            "split_components": [int(c) for c in self._split_components],
+            "separator_size": int(self.plan.separator.size),
+            "shard_sizes": self.shard_sizes(),
+            "partition": partition_quality(self.graph, self.plan.shard_of),
+            "separators": separator_quality(
+                self.graph, self.plan.shard_of, self.component_labels
+            ),
+        }
+
+    def save(self, path):
+        """Serialise the plan, separator systems and built region factors."""
+        from repro.core.persistence import save_engine
+
+        return save_engine(self, path)
+
+    @classmethod
+    def _restore(
+        cls, graph: Graph, config: EngineConfig, plan: ShardPlan
+    ) -> "PartitionedEngine":
+        """Cold shell for the persistence layer: plan applied, nothing built.
+
+        :mod:`repro.core.persistence` follows up with
+        :meth:`_install_system` / :meth:`_install_shard` for every piece
+        that was built (and therefore saved); everything else rebuilds
+        lazily exactly like a cold lazy engine.
+        """
+        engine = cls(graph, config, lazy=True, plan=plan)
+        return engine
+
+    def _install_system(self, component: int, schur: np.ndarray) -> None:
+        """Adopt a persisted Schur matrix (refactored with ``cho_factor``)."""
+        component = int(component)
+        require(
+            component in self._sep_nodes_of,
+            f"component {component} has no separator in the plan",
+        )
+        sep_nodes = self._sep_nodes_of[component]
+        require(
+            schur.shape == (sep_nodes.size, sep_nodes.size),
+            "separator system shape does not match the plan",
+        )
+        with self._systems_lock:
+            self._systems[component] = SeparatorSystem(
+                component=component,
+                sep_nodes=sep_nodes,
+                schur=np.ascontiguousarray(schur),
+            )
+
+    def _install_shard(self, shard: int, engine: ResistanceEngine) -> None:
+        """Adopt a persisted region engine (must match the halo graph size)."""
+        require(
+            engine.n == self._shard_graph_size(shard),
+            f"restored engine for shard {shard} has {engine.n} nodes, "
+            f"expected {self._shard_graph_size(shard)}",
+        )
+        with self._locks_guard:
+            self._engines[shard] = engine

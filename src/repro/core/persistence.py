@@ -18,6 +18,16 @@ engines"):
 * the :class:`~repro.core.engine.EngineConfig` as JSON (so a refresh after
   a graph edit rebuilds with the saved settings).
 
+Partitioned engines (:class:`~repro.core.partitioned.PartitionedEngine`,
+i.e. ``config.sharded`` / ``shard_strategy="separator"``) persist too
+(format v2): the file carries the :class:`~repro.core.partitioned.ShardPlan`
+arrays, every *built* separator Schur system and every *built* region
+factor under per-shard key prefixes — unbuilt pieces are simply absent and
+rebuild lazily after load, exactly like a cold lazy engine.  Region halo
+graphs are not stored: they are a deterministic function of the graph and
+the plan, so the loader reconstructs them.  Reload is bit-identical for
+everything that was built.
+
 Entry points: :func:`save_engine` / :func:`load_engine`, surfaced as
 ``engine.save(path)``, ``ResistanceService.from_saved(path)`` and the CLI's
 ``--save-engine`` / ``--load-engine`` options.  ``load_engine(path,
@@ -41,7 +51,10 @@ from repro.core.engine import EngineConfig
 from repro.graphs.graph import Graph
 from repro.utils.validation import require
 
-FORMAT_VERSION = 1
+# v1: monolithic cholinv only; v2 adds kind="partitioned" (plan + separator
+# systems + per-shard region factors).  v1 files have no "kind" member and
+# load as cholinv.
+FORMAT_VERSION = 2
 
 
 def _npz_path(path: "str | Path") -> Path:
@@ -53,15 +66,21 @@ def _npz_path(path: "str | Path") -> Path:
 
 
 def save_engine(engine, path: "str | Path") -> Path:
-    """Serialise a built ``cholinv`` engine to ``path`` (returns the path).
+    """Serialise a built engine to ``path`` (returns the path).
 
-    Only :class:`~repro.core.effective_resistance.CholInvEffectiveResistance`
-    persists: its post-build state is plain arrays.  The ``exact`` and
-    ``random_projection`` engines hold live factorisation objects (SuperLU)
-    that cannot be serialised portably — rebuild those instead.
+    :class:`~repro.core.effective_resistance.CholInvEffectiveResistance`
+    persists directly (its post-build state is plain arrays), and
+    :class:`~repro.core.partitioned.PartitionedEngine` persists whenever
+    its region engines are ``cholinv`` (plan + separator systems + built
+    region factors).  The ``exact`` and ``random_projection`` engines hold
+    live factorisation objects (SuperLU) that cannot be serialised
+    portably — rebuild those instead.
     """
     from repro.core.effective_resistance import CholInvEffectiveResistance
+    from repro.core.partitioned import PartitionedEngine
 
+    if isinstance(engine, PartitionedEngine):
+        return _save_partitioned(engine, path)
     if not isinstance(engine, CholInvEffectiveResistance):
         raise NotImplementedError(
             f"{type(engine).__name__} does not support persistence; only the "
@@ -86,6 +105,7 @@ def save_engine(engine, path: "str | Path") -> Path:
     np.savez(
         path,
         format_version=np.int64(FORMAT_VERSION),
+        kind=np.asarray("cholinv"),
         config_json=np.asarray(json.dumps(config.to_dict())),
         num_nodes=np.int64(engine.graph.num_nodes),
         graph_heads=engine.graph.heads,
@@ -104,6 +124,76 @@ def save_engine(engine, path: "str | Path") -> Path:
         stats_columns_truncated=np.int64(engine.stats.columns_truncated),
         stats_columns_kept_whole=np.int64(engine.stats.columns_kept_whole),
     )
+    return path
+
+
+def _save_partitioned(engine, path: "str | Path") -> Path:
+    """Serialise a partitioned engine: plan + built systems + built shards.
+
+    Only what exists is written — a half-warm lazy engine saves exactly
+    its built pieces, and the loader leaves the rest cold.  Region
+    engines must be ``cholinv`` (the only sub-engine with array state).
+    """
+    from repro.core.effective_resistance import CholInvEffectiveResistance
+
+    if engine.config.method != "cholinv":
+        raise NotImplementedError(
+            f'sharded "{engine.config.method}" engines do not support '
+            f'persistence; only "cholinv" (Alg. 3) region factors '
+            f"serialise to disk"
+        )
+    plan = engine.plan
+    arrays: "dict[str, np.ndarray]" = {
+        "format_version": np.int64(FORMAT_VERSION),
+        "kind": np.asarray("partitioned"),
+        "config_json": np.asarray(json.dumps(engine.config.to_dict())),
+        "shard_config_json": np.asarray(
+            json.dumps(engine._shard_config.to_dict())
+        ),
+        "num_nodes": np.int64(engine.graph.num_nodes),
+        "graph_heads": engine.graph.heads,
+        "graph_tails": engine.graph.tails,
+        "graph_weights": engine.graph.weights,
+        "component_labels": engine.component_labels,
+        "plan_strategy": np.asarray(plan.strategy),
+        "plan_num_shards": np.int64(plan.num_shards),
+        "plan_num_components": np.int64(plan.num_components),
+        "plan_shard_of": plan.shard_of,
+        "plan_separator": plan.separator,
+    }
+    built = [s for s, sub in enumerate(engine._engines) if sub is not None]
+    arrays["built_shards"] = np.asarray(built, dtype=np.int64)
+    for shard in built:
+        sub = engine._engines[shard]
+        if not isinstance(sub, CholInvEffectiveResistance):
+            raise NotImplementedError(
+                f"shard {shard} is a {type(sub).__name__}, which does not "
+                f'support persistence; only "cholinv" region factors '
+                f"serialise to disk"
+            )
+        z = sub.z_tilde.tocsc()
+        prefix = f"shard{shard}_"
+        arrays[prefix + "z_data"] = z.data
+        arrays[prefix + "z_indices"] = z.indices
+        arrays[prefix + "z_indptr"] = z.indptr
+        arrays[prefix + "z_shape"] = np.asarray(z.shape, dtype=np.int64)
+        arrays[prefix + "ground_value"] = np.float64(sub.ground_value)
+        arrays[prefix + "perm"] = sub.perm
+        arrays[prefix + "column_sq_norms"] = sub._column_sq_norms
+        arrays[prefix + "stats_nnz"] = np.int64(sub.stats.nnz)
+        arrays[prefix + "stats_n"] = np.int64(sub.stats.n)
+        arrays[prefix + "stats_columns_truncated"] = np.int64(
+            sub.stats.columns_truncated
+        )
+        arrays[prefix + "stats_columns_kept_whole"] = np.int64(
+            sub.stats.columns_kept_whole
+        )
+    systems = sorted(engine._systems)
+    arrays["system_components"] = np.asarray(systems, dtype=np.int64)
+    for component in systems:
+        arrays[f"sys{component}_schur"] = engine._systems[component].schur
+    path = _npz_path(path)
+    np.savez(path, **arrays)
     return path
 
 
@@ -169,31 +259,41 @@ def load_engine(path: "str | Path", mmap: bool = False):
 
     The returned engine is a real
     :class:`~repro.core.effective_resistance.CholInvEffectiveResistance`
-    whose ``query_pairs`` output is bit-identical to the saved one; its
-    ``config`` attribute carries the settings it was built with so
-    :class:`~repro.service.ResistanceService` can refresh it after graph
-    edits.  With ``mmap=True`` the large arrays (``Z̃`` data/indices,
-    norms, permutation, graph edges) stay on disk as read-only memory
-    maps, so many workers on one host share one copy of the pages.
+    (or, for a saved partitioned engine, a
+    :class:`~repro.core.sharded.ShardedEngine` with every persisted piece
+    installed) whose ``query_pairs`` output is bit-identical to the saved
+    one; its ``config`` attribute carries the settings it was built with
+    so :class:`~repro.service.ResistanceService` can refresh it after
+    graph edits.  With ``mmap=True`` the large arrays (``Z̃``
+    data/indices, norms, permutation, graph edges) stay on disk as
+    read-only memory maps, so many workers on one host share one copy of
+    the pages.
     """
-    from repro.core.effective_resistance import CholInvEffectiveResistance
-
     path = _npz_path(path)
     require(path.exists(), f"no saved engine at {path}")
     if mmap:
-        data = _mmap_npz_arrays(path)
-        return _engine_from_arrays(data, CholInvEffectiveResistance)
+        return _engine_from_any(_mmap_npz_arrays(path))
     with np.load(path, allow_pickle=False) as data:
-        return _engine_from_arrays(data, CholInvEffectiveResistance)
+        return _engine_from_any(data)
 
 
-def _engine_from_arrays(data, engine_cls):
+def _engine_from_any(data):
+    from repro.core.effective_resistance import CholInvEffectiveResistance
+
     version = int(data["format_version"])
     require(
         version <= FORMAT_VERSION,
         f"saved engine format v{version} is newer than supported "
         f"v{FORMAT_VERSION}",
     )
+    kind = str(data["kind"]) if "kind" in data else "cholinv"  # v1: no kind
+    if kind == "partitioned":
+        return _partitioned_from_arrays(data)
+    require(kind == "cholinv", f"unknown saved engine kind {kind!r}")
+    return _engine_from_arrays(data, CholInvEffectiveResistance)
+
+
+def _engine_from_arrays(data, engine_cls):
     config = EngineConfig.from_dict(json.loads(str(data["config_json"])))
     graph = Graph(
         int(data["num_nodes"]),
@@ -221,3 +321,76 @@ def _engine_from_arrays(data, engine_cls):
         stats=stats,
         ground_value=float(data["ground_value"]),
     )
+
+
+def _partitioned_from_arrays(data):
+    """Rebuild a partitioned engine: cold shell + every persisted piece.
+
+    The plan is restored verbatim (no re-partitioning — the saved region
+    layout is authoritative), region halo graphs are reconstructed
+    deterministically from graph + plan, and each saved region factor is
+    rehydrated through ``CholInvEffectiveResistance.from_state`` exactly
+    like a monolithic save.  Shards and Schur systems that were never
+    built are absent from the file and stay cold, rebuilding lazily on
+    first touch.
+    """
+    from repro.core.effective_resistance import CholInvEffectiveResistance
+    from repro.core.partitioned import ShardPlan
+    from repro.core.sharded import ShardedEngine
+    from repro.graphs.components import connected_components
+
+    config = EngineConfig.from_dict(json.loads(str(data["config_json"])))
+    shard_config = EngineConfig.from_dict(
+        json.loads(str(data["shard_config_json"]))
+    )
+    graph = Graph(
+        int(data["num_nodes"]),
+        data["graph_heads"],
+        data["graph_tails"],
+        data["graph_weights"],
+    )
+    plan = ShardPlan(
+        strategy=str(data["plan_strategy"]),
+        num_shards=int(data["plan_num_shards"]),
+        shard_of=np.asarray(data["plan_shard_of"], dtype=np.int64),
+        component_labels=np.asarray(data["component_labels"], dtype=np.int64),
+        num_components=int(data["plan_num_components"]),
+        separator=np.asarray(data["plan_separator"], dtype=np.int64),
+    )
+    plan.validate(graph)
+    engine = ShardedEngine._restore(graph, config, plan)
+    for component in np.asarray(data["system_components"]).tolist():
+        engine._install_system(
+            int(component),
+            np.asarray(data[f"sys{int(component)}_schur"], dtype=np.float64),
+        )
+    for shard in np.asarray(data["built_shards"]).tolist():
+        prefix = f"shard{int(shard)}_"
+        halo = engine._shard_graph(int(shard))
+        labels, _ = connected_components(halo)
+        z_tilde = sp.csc_matrix(
+            (
+                data[prefix + "z_data"],
+                data[prefix + "z_indices"],
+                data[prefix + "z_indptr"],
+            ),
+            shape=tuple(int(s) for s in data[prefix + "z_shape"]),
+        )
+        stats = ApproxInverseStats(
+            nnz=int(data[prefix + "stats_nnz"]),
+            n=int(data[prefix + "stats_n"]),
+            columns_truncated=int(data[prefix + "stats_columns_truncated"]),
+            columns_kept_whole=int(data[prefix + "stats_columns_kept_whole"]),
+        )
+        sub = CholInvEffectiveResistance.from_state(
+            graph=halo,
+            config=shard_config,
+            z_tilde=z_tilde,
+            perm=data[prefix + "perm"],
+            column_sq_norms=data[prefix + "column_sq_norms"],
+            component_labels=labels,
+            stats=stats,
+            ground_value=float(data[prefix + "ground_value"]),
+        )
+        engine._install_shard(int(shard), sub)
+    return engine

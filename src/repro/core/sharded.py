@@ -1,262 +1,45 @@
-"""Component-sharded composite engine.
+"""Component-sharded composite engine (now a partitioned-engine strategy).
 
 Effective resistance never crosses a connected component (the physical
 answer is ``inf`` — no current path), so a multi-component graph can be
-served by one independent sub-engine per component.  That is strictly
-cheaper than factoring the whole grounded Laplacian at once: each shard
-factors a smaller matrix with its own fill-reducing ordering, singleton
-components never build anything, and cross-component queries are answered
-from the component labels without touching any factor.  Shards are also
-the unit of parallelism: :meth:`ShardedEngine.shard_subbatches` groups a
-pair batch by component and :meth:`ShardedEngine.query_shard` answers one
-group, which is exactly the sub-batch interface the serving layer's
-planner/executor (:mod:`repro.service.planner`,
-:mod:`repro.service.executor`) fans out across threads.
+served by one independent sub-engine per component.  PR 7 generalised
+that idea into :class:`~repro.core.partitioned.PartitionedEngine`, where
+a shard comes from a :class:`~repro.core.partitioned.ShardPlan` — either
+one region per component (this class' classic behaviour, the
+``shard_strategy="component"`` default) or separator-bounded regions
+*inside* one giant component with exact Schur-complement cross-region
+queries (``shard_strategy="separator"``).
 
-``ShardedEngine`` wraps any registered base engine: the wrapped method and
-its tunables come from the same :class:`~repro.core.engine.EngineConfig`
-the factory uses (``config.sharded`` is what routes ``build_engine`` here).
-With ``lazy_shards=True`` each sub-engine is built on the first query that
-lands in its shard, so a service warm-starts instantly and only pays for
-the components traffic actually touches; lazy builds are serialised per
-shard, so concurrent queries are safe and never build a shard twice.
+``ShardedEngine`` remains the name the factory builds and downstream
+code imports; it is the partitioned engine, strategy picked by the same
+:class:`~repro.core.engine.EngineConfig` that routes ``build_engine``
+here (``config.sharded`` / ``config.shard_strategy``).  Everything the
+class promised before still holds:
 
-Shards are independent factorisation problems, which makes them the unit
-of *build* parallelism too: with ``config.build_workers > 1`` eager
-construction fans the per-component builds out over a thread pool, and
-:meth:`ShardedEngine.warm_up` does the same for a lazy engine on demand
-(safe to call concurrently with live queries — the per-shard build locks
-serialise exactly as they do for lazy first-touch builds).  Shards built
-in parallel are bit-identical to serial builds: each sub-engine's math is
-untouched, only *when* it runs changes.
+* lazy per-shard builds serialised by per-shard locks (``lazy_shards``),
+  concurrent-query safe, no shard ever built twice;
+* eager builds and :meth:`~repro.core.partitioned.PartitionedEngine.warm_up`
+  fan out over ``config.build_workers`` threads, bit-identical at every
+  worker count;
+* :meth:`~repro.core.partitioned.PartitionedEngine.shard_subbatches` /
+  :meth:`~repro.core.partitioned.PartitionedEngine.query_shard` are the
+  sub-batch contract the serving layer's planner/executor fans out.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import threading
-
-import numpy as np
-
-from repro.core.engine import (
-    EngineConfig,
-    ResistanceEngine,
-    as_pair_columns,
-    build_engine,
-)
-from repro.graphs.components import connected_components
-from repro.graphs.graph import Graph
-from repro.utils.timing import Timer
-from repro.utils.validation import require
+from repro.core.partitioned import PartitionedEngine
 
 
-class ShardedEngine(ResistanceEngine):
-    """One sub-engine per connected component behind the engine protocol.
+class ShardedEngine(PartitionedEngine):
+    """The composite engine behind ``config.sharded`` — see module docstring.
 
-    Parameters
-    ----------
-    graph:
-        Weighted undirected graph (any number of components).
-    config:
-        Config of the *base* engine each shard builds (``method`` plus its
-        tunables).  ``config.lazy_shards`` defers shard builds to first
-        use; ``config.sharded`` itself is ignored here (this class *is*
-        the sharding).
-    lazy:
-        Overrides ``config.lazy_shards`` when given.
-
-    Notes
-    -----
-    Queries are grouped by component and translated through global↔local
-    id maps, so a mixed batch costs one sub-engine call per touched shard.
-    Components of size one never build an engine: every query they can
-    answer is ``0.0`` (self pair) or ``inf`` (cross-component).
+    With the default ``shard_strategy="component"`` this behaves exactly
+    like the pre-PR-7 component-sharded engine: one shard per connected
+    component, cross-component queries answered ``inf`` from the labels
+    without touching any factor, singleton components never building.
+    ``shard_strategy="separator"`` additionally splits components larger
+    than ``max_shard_nodes`` into separator-bounded regions served
+    through the Schur-complement path — see
+    :mod:`repro.core.partitioned`.
     """
-
-    def __init__(
-        self,
-        graph: Graph,
-        config: "EngineConfig | str | None" = None,
-        lazy: "bool | None" = None,
-    ):
-        if config is None:
-            config = EngineConfig()
-        elif isinstance(config, str):
-            config = EngineConfig(method=config)
-        self.graph = graph
-        self.n = graph.num_nodes
-        self.timer = Timer()
-        self.config = config if config.sharded else config.replace(sharded=True)
-        self._shard_config = config.replace(sharded=False, lazy_shards=False)
-        self.lazy = bool(config.lazy_shards if lazy is None else lazy)
-
-        with self.timer.section("components"):
-            self.component_labels, self.num_shards = connected_components(graph)
-            order = np.argsort(self.component_labels, kind="stable")
-            counts = np.bincount(self.component_labels, minlength=self.num_shards)
-            starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
-            # global node id -> rank within its component
-            self._local = np.empty(self.n, dtype=np.int64)
-            self._local[order] = np.arange(self.n) - np.repeat(starts, counts)
-            # members of shard c, in local-rank order
-            self._members = np.split(order, np.cumsum(counts)[:-1])
-        self._engines: "list[ResistanceEngine | None]" = [None] * self.num_shards
-        # lazy builds under concurrency: one lock per in-flight shard build
-        # (created on demand), so distinct shards build in parallel while a
-        # given shard is never built twice
-        self._build_locks: "dict[int, threading.Lock]" = {}
-        self._locks_guard = threading.Lock()
-        if not self.lazy:
-            eager = [c for c in range(self.num_shards) if counts[c] > 1]
-            self._build_shards(eager, self.config.build_workers)
-
-    # ------------------------------------------------------------------
-    @property
-    def shards_built(self) -> int:
-        """How many sub-engines exist right now (grows lazily)."""
-        return sum(engine is not None for engine in self._engines)
-
-    def shard_sizes(self) -> np.ndarray:
-        """Node count of every shard."""
-        return np.bincount(self.component_labels, minlength=self.num_shards)
-
-    def _shard(
-        self, c: int, config: "EngineConfig | None" = None
-    ) -> ResistanceEngine:
-        engine = self._engines[c]
-        if engine is not None:
-            return engine
-        with self._locks_guard:
-            lock = self._build_locks.setdefault(c, threading.Lock())
-        with lock:
-            if self._engines[c] is None:
-                with self.timer.section("shard_build"):
-                    sub, _ = self.graph.subgraph(self._members[c])
-                    self._engines[c] = build_engine(
-                        sub, self._shard_config if config is None else config
-                    )
-        return self._engines[c]
-
-    def _build_shards(self, shards: "list[int]", workers: int) -> None:
-        """Build the given shards, fanning out over ``workers`` threads.
-
-        The shards are the primary parallel unit; any whole-number worker
-        surplus beyond the shard count is divided among the sub-builds as
-        Alg. 2 level parallelism (``workers // len(shards)`` each), so
-        the pool is never oversubscribed (a remainder worker can sit idle
-        when the shard count does not divide the budget).  Either way the
-        resulting engines are bit-identical — worker counts never change
-        engine math.
-        """
-        if workers > 1 and len(shards) > 1:
-            per_shard = self._shard_config.replace(
-                build_workers=max(1, workers // len(shards))
-            )
-            with concurrent.futures.ThreadPoolExecutor(
-                max_workers=min(workers, len(shards)),
-                thread_name_prefix="shard-build",
-            ) as pool:
-                # list() drains the iterator so worker exceptions propagate
-                list(pool.map(lambda c: self._shard(c, per_shard), shards))
-        elif workers > 1:
-            # a single pending shard gets the whole budget as Alg. 2
-            # level parallelism
-            per_shard = self._shard_config.replace(build_workers=workers)
-            for c in shards:
-                self._shard(c, per_shard)
-        else:
-            for c in shards:
-                self._shard(c)
-
-    def warm_up(self, workers: "int | None" = None) -> int:
-        """Build every not-yet-built multi-node shard, optionally in parallel.
-
-        Gives a lazy engine the cold-start profile of an eager one without
-        giving up lazy construction: a service can come up instantly, then
-        warm its shards in the background while early traffic builds
-        whatever it touches first.  Safe to call from several threads and
-        concurrently with queries — every build goes through the same
-        per-shard locks as lazy first-touch builds, so no shard is ever
-        built twice.
-
-        Parameters
-        ----------
-        workers:
-            Thread count for the fan-out; defaults to
-            ``config.build_workers``.
-
-        Returns
-        -------
-        int
-            Number of shards that were cold when this call started (0
-            means the engine was already fully warm).
-        """
-        effective = self.config.build_workers if workers is None else int(workers)
-        require(effective >= 1, f"workers must be >= 1, got {workers}")
-        sizes = self.shard_sizes()
-        pending = [
-            c
-            for c in range(self.num_shards)
-            if sizes[c] > 1 and self._engines[c] is None
-        ]
-        if pending:
-            self._build_shards(pending, effective)
-        return len(pending)
-
-    # ------------------------------------------------------------------
-    # sub-batch interface (what the serving layer's planner fans out)
-    # ------------------------------------------------------------------
-    def shard_subbatches(
-        self, ps, qs
-    ) -> "list[tuple[int, np.ndarray, np.ndarray]]":
-        """Group within-component pairs by shard.
-
-        Returns one ``(shard_id, positions, local_pairs)`` triple per
-        touched component: ``positions`` indexes the input arrays, and
-        ``local_pairs`` is the ``(k, 2)`` shard-local id array that
-        :meth:`query_shard` answers.  Self pairs and cross-component pairs
-        are excluded — they never need an engine.  One stable argsort
-        groups the whole batch (O(m log m) however many shards it hits).
-        """
-        ps = np.asarray(ps, dtype=np.int64)
-        qs = np.asarray(qs, dtype=np.int64)
-        labels = self.component_labels
-        active = np.flatnonzero((labels[ps] == labels[qs]) & (ps != qs))
-        if active.size == 0:
-            return []
-        components = labels[ps[active]]
-        order = np.argsort(components, kind="stable")
-        grouped = active[order]
-        boundaries = np.flatnonzero(np.diff(components[order])) + 1
-        subbatches = []
-        for group in np.split(grouped, boundaries):
-            local = np.column_stack(
-                [self._local[ps[group]], self._local[qs[group]]]
-            )
-            subbatches.append((int(labels[ps[group[0]]]), group, local))
-        return subbatches
-
-    def query_shard(self, shard_id: int, local_pairs) -> np.ndarray:
-        """Answer one shard's sub-batch of *shard-local* pairs.
-
-        Builds the shard first if it is lazy and cold; safe to call from
-        several threads at once (the serving layer's
-        :class:`~repro.service.executor.ThreadedExecutor` does exactly
-        that, one call per touched shard).
-        """
-        require(
-            0 <= shard_id < self.num_shards,
-            f"shard id {shard_id} out of range for {self.num_shards} shards",
-        )
-        return self._shard(shard_id).query_pairs(local_pairs)
-
-    # ------------------------------------------------------------------
-    def query_pairs(self, pairs) -> np.ndarray:
-        """Batch queries routed shard-by-shard; cross-component → ``inf``."""
-        ps, qs = as_pair_columns(pairs)
-        out = np.full(ps.shape[0], np.inf)
-        with self.timer.section("queries"):
-            for shard_id, group, local in self.shard_subbatches(ps, qs):
-                out[group] = self.query_shard(shard_id, local)
-        out[ps == qs] = 0.0
-        return out

@@ -21,6 +21,7 @@ from repro.graphs.generators import (
     random_geometric_graph,
     rmat_graph,
     star_graph,
+    stochastic_block_model,
     watts_strogatz_graph,
 )
 from repro.graphs.graph import Graph
@@ -56,6 +57,7 @@ __all__ = [
     "fe_mesh_2d",
     "fe_mesh_3d",
     "barabasi_albert_graph",
+    "stochastic_block_model",
     "watts_strogatz_graph",
     "rmat_graph",
     "random_geometric_graph",

@@ -278,6 +278,46 @@ def watts_strogatz_graph(
     return Graph(n, all_heads, all_tails, weights).coalesce()
 
 
+def stochastic_block_model(
+    block_sizes: "list[int] | tuple[int, ...] | np.ndarray",
+    p_in: float = 0.1,
+    p_out: float = 0.01,
+    weight_low: float = 1.0,
+    weight_high: float = 1.0,
+    seed: "int | np.random.Generator | None" = None,
+) -> Graph:
+    """Stochastic block model: dense communities, sparse cross-block edges.
+
+    Each unordered pair inside block ``b`` is an edge with probability
+    ``p_in``; each pair spanning two blocks with probability ``p_out``.
+    The resulting community structure (few, heavy cross-block edges) is
+    the adversarial case for component sharding and the natural one for
+    separator sharding — the cross-block pairs are exactly the ones a
+    vertex separator has to carry.
+
+    Edge sampling is vectorised over all ``O(n^2)`` pairs, so this is a
+    test/bench-scale generator (tens of thousands of nodes, not millions).
+    Connectivity is *not* guaranteed; take
+    :func:`repro.graphs.components.largest_component` when a single
+    component is needed.
+    """
+    sizes = np.asarray(block_sizes, dtype=np.int64)
+    require(sizes.size >= 1 and bool((sizes >= 1).all()), "block sizes must be positive")
+    require(0.0 <= p_out <= p_in <= 1.0, "need 0 <= p_out <= p_in <= 1")
+    rng = ensure_rng(seed)
+    n = int(sizes.sum())
+    block_of = np.repeat(np.arange(sizes.size), sizes)
+    rows, cols = np.triu_indices(n, k=1)
+    prob = np.where(block_of[rows] == block_of[cols], p_in, p_out)
+    keep = rng.random(rows.size) < prob
+    heads, tails = rows[keep].astype(np.int64), cols[keep].astype(np.int64)
+    if weight_low == weight_high:
+        weights = np.full(heads.size, float(weight_low))
+    else:
+        weights = np.exp(rng.uniform(np.log(weight_low), np.log(weight_high), size=heads.size))
+    return Graph(n, heads, tails, weights).coalesce()
+
+
 def rmat_graph(
     scale: int,
     edge_factor: int = 8,

@@ -11,10 +11,12 @@ interface / non-port interior) the reduction consumes.
 from repro.partition.interface import (
     NodeRole,
     PartitionQuality,
+    SeparatorQuality,
     classify_nodes,
     edge_cut,
     partition_graph,
     partition_quality,
+    separator_quality,
 )
 from repro.partition.multilevel import multilevel_bisection, multilevel_kway
 
@@ -25,6 +27,8 @@ __all__ = [
     "edge_cut",
     "partition_quality",
     "PartitionQuality",
+    "separator_quality",
+    "SeparatorQuality",
     "multilevel_kway",
     "multilevel_bisection",
 ]

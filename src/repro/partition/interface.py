@@ -10,6 +10,14 @@ role Alg. 1 needs:
   during per-block reduction so blocks stay stitchable;
 * ``INTERIOR`` — non-port node fully inside a block; eliminated exactly by
   the Schur complement.
+
+Separator-aware labellings (as produced by
+:func:`repro.core.partitioned.separator_plan`) mark separator nodes with
+label ``-1``; every function here treats negative labels as "no block":
+such nodes classify as ``INTERFACE``, never count as block members, and
+edges touching them are excluded from the edge cut.
+:func:`separator_quality` reports the separator-specific diagnostics
+(separator size, region balance) per split component.
 """
 
 from __future__ import annotations
@@ -86,7 +94,12 @@ def _recursive_coordinate_bisection(coords: np.ndarray, num_blocks: int) -> np.n
 
 
 def classify_nodes(graph: Graph, labels: np.ndarray, ports: np.ndarray) -> np.ndarray:
-    """Assign a :class:`NodeRole` to every node (see module docstring)."""
+    """Assign a :class:`NodeRole` to every node (see module docstring).
+
+    Nodes with a negative label (vertex-separator members) are
+    ``INTERFACE`` by definition — they sit between blocks even when all
+    their surviving neighbours are other separator nodes.
+    """
     labels = np.asarray(labels, dtype=np.int64)
     roles = np.full(graph.num_nodes, int(NodeRole.INTERIOR), dtype=np.int64)
     crossing = labels[graph.heads] != labels[graph.tails]
@@ -94,13 +107,21 @@ def classify_nodes(graph: Graph, labels: np.ndarray, ports: np.ndarray) -> np.nd
         np.concatenate([graph.heads[crossing], graph.tails[crossing]])
     )
     roles[boundary_nodes] = int(NodeRole.INTERFACE)
+    roles[labels < 0] = int(NodeRole.INTERFACE)
     roles[np.asarray(ports, dtype=np.int64)] = int(NodeRole.PORT)
     return roles
 
 
 def edge_cut(graph: Graph, labels: np.ndarray) -> float:
-    """Total weight of edges crossing block boundaries."""
-    crossing = labels[graph.heads] != labels[graph.tails]
+    """Total weight of edges crossing block boundaries.
+
+    Edges with an unlabelled endpoint (negative label = separator node)
+    are not block-to-block edges and do not count toward the cut; use
+    :func:`separator_quality` for separator-coupling weight.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    labelled = (labels[graph.heads] >= 0) & (labels[graph.tails] >= 0)
+    crossing = (labels[graph.heads] != labels[graph.tails]) & labelled
     return float(graph.weights[crossing].sum())
 
 
@@ -116,14 +137,23 @@ class PartitionQuality:
     @property
     def imbalance(self) -> float:
         """``max block size / ideal size`` — 1.0 is perfectly balanced."""
+        if self.num_blocks == 0 or self.block_sizes.sum() == 0:
+            return 1.0
         ideal = self.block_sizes.sum() / self.num_blocks
         return float(self.block_sizes.max() / ideal)
 
 
 def partition_quality(graph: Graph, labels: np.ndarray) -> PartitionQuality:
-    """Compute balance and cut statistics for a partition."""
-    num_blocks = int(labels.max()) + 1 if labels.size else 1
-    sizes = np.bincount(labels, minlength=num_blocks)
+    """Compute balance and cut statistics for a partition.
+
+    Nodes with a negative label (separator members) are excluded from the
+    block sizes, and edges touching them from the cut — the labelling may
+    come straight from a :class:`~repro.core.partitioned.ShardPlan`.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    labelled = labels[labels >= 0]
+    num_blocks = int(labelled.max()) + 1 if labelled.size else 1
+    sizes = np.bincount(labelled, minlength=num_blocks)
     cut = edge_cut(graph, labels)
     total = graph.total_weight() or 1.0
     return PartitionQuality(
@@ -132,3 +162,74 @@ def partition_quality(graph: Graph, labels: np.ndarray) -> PartitionQuality:
         cut_weight=cut,
         cut_fraction=cut / total,
     )
+
+
+@dataclass
+class SeparatorQuality:
+    """Separator diagnostics of one split component.
+
+    ``region_sizes`` counts the component's region nodes per region;
+    ``separator_fraction`` is the share of the component's nodes spent on
+    the separator (the overhead of the split), and ``coupling_weight``
+    the total region↔separator edge weight (what the Schur complement
+    has to carry).
+    """
+
+    component: int
+    num_regions: int
+    region_sizes: np.ndarray
+    separator_size: int
+    separator_fraction: float
+    coupling_weight: float
+
+    @property
+    def imbalance(self) -> float:
+        """``max region size / ideal region size`` — 1.0 is balanced."""
+        if self.num_regions == 0 or self.region_sizes.sum() == 0:
+            return 1.0
+        ideal = self.region_sizes.sum() / self.num_regions
+        return float(self.region_sizes.max() / ideal)
+
+
+def separator_quality(
+    graph: Graph,
+    labels: np.ndarray,
+    component_labels: "np.ndarray | None" = None,
+) -> "list[SeparatorQuality]":
+    """Per-split-component separator diagnostics (see :class:`SeparatorQuality`).
+
+    ``labels`` assigns each node a region id or ``-1`` for separator
+    membership; components without separator nodes produce no entry.
+    Without ``component_labels`` the whole graph is treated as one
+    component (label 0).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if component_labels is None:
+        component_labels = np.zeros(graph.num_nodes, dtype=np.int64)
+    component_labels = np.asarray(component_labels, dtype=np.int64)
+    sep_mask = labels < 0
+    one_sep = sep_mask[graph.heads] != sep_mask[graph.tails]
+    reports = []
+    for comp in np.unique(component_labels[sep_mask]).tolist():
+        in_comp = component_labels == comp
+        region_ids = np.unique(labels[in_comp & ~sep_mask])
+        region_sizes = np.array(
+            [int(np.count_nonzero(labels[in_comp] == r)) for r in region_ids],
+            dtype=np.int64,
+        )
+        sep_size = int(np.count_nonzero(in_comp & sep_mask))
+        comp_size = int(np.count_nonzero(in_comp))
+        coupling = float(
+            graph.weights[one_sep & in_comp[graph.heads]].sum()
+        )
+        reports.append(
+            SeparatorQuality(
+                component=int(comp),
+                num_regions=int(region_ids.size),
+                region_sizes=region_sizes,
+                separator_size=sep_size,
+                separator_fraction=sep_size / comp_size if comp_size else 0.0,
+                coupling_weight=coupling,
+            )
+        )
+    return reports

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.engine import ResistanceEngine, as_pair_array
-from repro.core.sharded import ShardedEngine
+from repro.core.partitioned import PartitionedEngine
 
 
 @dataclass
@@ -38,12 +38,16 @@ class SubBatch:
     Attributes
     ----------
     shard_id:
-        Component the pairs live in (``None`` for a monolithic engine).
+        Shard group the pairs live in (``None`` for a monolithic engine).
+        For a partitioned engine this is a region id (``< num_shards``,
+        shard-local pairs) or a cross-region pseudo id (``>= num_shards``,
+        global pairs routed through the separator Schur path) — the
+        engine's ``query_shard`` dispatches on it either way.
     unique_rows:
         Indices into the plan's unique-pair table this sub-batch answers.
     pairs:
-        ``(k, 2)`` id array to hand to the engine — shard-local ids when
-        ``shard_id`` is set, global ids otherwise.
+        ``(k, 2)`` id array to hand to the engine — shard-local ids for a
+        region group, global ids otherwise.
     """
 
     shard_id: "int | None"
@@ -113,17 +117,20 @@ class QueryPlan:
     def build_subbatches(self, max_task_pairs: "int | None" = None) -> "list[SubBatch]":
         """Group the remaining misses into engine-bound sub-batches.
 
-        For a :class:`~repro.core.sharded.ShardedEngine` the misses are
-        grouped per component and translated to shard-local ids; any other
-        engine gets one whole-batch task.  ``max_task_pairs`` additionally
-        splits oversized groups so a threaded executor has work to balance.
+        For a :class:`~repro.core.partitioned.PartitionedEngine` (which
+        includes the classic component-sharded engine) the misses are
+        grouped per region — translated to shard-local ids — plus one
+        cross-region group per split component carrying global ids; any
+        other engine gets one whole-batch task.  ``max_task_pairs``
+        additionally splits oversized groups so a threaded executor has
+        work to balance.
         """
         rows = np.flatnonzero(~self.resolved)
         self.subbatches = []
         if rows.size == 0:
             return self.subbatches
         los, his = self.unique_lo[rows], self.unique_hi[rows]
-        if isinstance(self.engine, ShardedEngine):
+        if isinstance(self.engine, PartitionedEngine):
             for shard_id, positions, local in self.engine.shard_subbatches(los, his):
                 self._append_chunked(
                     shard_id, rows[positions], local, max_task_pairs

@@ -1,0 +1,522 @@
+"""Within-component separator sharding (repro.core.partitioned).
+
+Covers the plan layer (structure, determinism, fold edge cases), the
+Schur-complement cross-region query path (exactness against dense
+reference answers on grids / power-law graphs / SBMs), lazy builds under
+a concurrency hammer, persistence round-trips, planner routing of mixed
+batches, and the separator-aware partition diagnostics.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, build_engine
+from repro.core.partitioned import (
+    PartitionedEngine,
+    ShardPlan,
+    component_plan,
+    make_plan,
+    separator_plan,
+)
+from repro.core.persistence import load_engine
+from repro.core.sharded import ShardedEngine
+from repro.graphs.components import largest_component
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    grid_2d,
+    path_graph,
+    stochastic_block_model,
+)
+from repro.graphs.graph import Graph
+from repro.partition.interface import (
+    SeparatorQuality,
+    classify_nodes,
+    edge_cut,
+    partition_quality,
+    separator_quality,
+)
+from repro.service.planner import QueryPlanner
+
+
+SEPARATOR_CONFIG = EngineConfig(
+    method="exact", shard_strategy="separator", max_shard_nodes=120
+)
+
+
+def _sbm_component() -> Graph:
+    graph = stochastic_block_model(
+        [90, 90, 90], p_in=0.15, p_out=0.004, weight_low=0.5,
+        weight_high=2.0, seed=7,
+    )
+    big, _ = largest_component(graph)
+    return big
+
+
+def _reference(graph: Graph):
+    return build_engine(graph, EngineConfig(method="exact"))
+
+
+def _probe_pairs(engine: PartitionedEngine, rng: np.random.Generator,
+                 count: int = 400) -> np.ndarray:
+    """Pairs biased to hit every routing class the plan produces."""
+    n = engine.n
+    pairs = [np.column_stack([rng.integers(0, n, count),
+                              rng.integers(0, n, count)])]
+    sep = engine.plan.separator
+    if sep.size:
+        # separator-separator and region-separator endpoints
+        pairs.append(np.column_stack([rng.choice(sep, 50),
+                                      rng.choice(sep, 50)]))
+        pairs.append(np.column_stack([rng.choice(sep, 50),
+                                      rng.integers(0, n, 50)]))
+    return np.concatenate(pairs)
+
+
+# ----------------------------------------------------------------------
+# plan layer
+# ----------------------------------------------------------------------
+class TestShardPlan:
+    def test_component_plan_matches_components(self, two_components):
+        plan = component_plan(two_components)
+        assert plan.strategy == "component"
+        assert plan.num_shards == 2
+        assert plan.separator.size == 0
+        assert plan.split_components.size == 0
+        plan.validate(two_components)
+
+    @pytest.mark.parametrize("method", ["bisection", "kway"])
+    def test_separator_plan_splits_large_component(self, method):
+        graph = grid_2d(20, 20)
+        plan = separator_plan(graph, max_shard_nodes=120, method=method)
+        plan.validate(graph)
+        assert plan.strategy == "separator"
+        assert plan.num_shards >= 2
+        assert plan.separator.size > 0
+        assert np.array_equal(plan.split_components, [0])
+        # separator really separates: no edge joins two distinct regions
+        shard = plan.shard_of
+        heads, tails = graph.heads, graph.tails
+        both_regions = (shard[heads] >= 0) & (shard[tails] >= 0)
+        assert not np.any(both_regions & (shard[heads] != shard[tails]))
+        # regions respect the cap
+        sizes = np.bincount(shard[shard >= 0], minlength=plan.num_shards)
+        assert sizes.max() <= 120
+
+    def test_small_components_stay_whole(self, two_components):
+        plan = separator_plan(two_components, max_shard_nodes=10)
+        assert plan.num_shards == 2
+        assert plan.separator.size == 0
+        plan.validate(two_components)
+
+    def test_plan_is_deterministic(self):
+        graph = barabasi_albert_graph(400, 3, seed=5)
+        a = separator_plan(graph, max_shard_nodes=100, seed=3)
+        b = separator_plan(graph, max_shard_nodes=100, seed=3)
+        assert np.array_equal(a.shard_of, b.shard_of)
+        assert np.array_equal(a.separator, b.separator)
+
+    def test_unsplittable_component_folds_to_one_region(self):
+        # a 4-node star below any sensible cut: dissection cannot win,
+        # so the component must fold back into one ordinary region with
+        # no separator rather than producing empty regions
+        star = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        plan = separator_plan(star, max_shard_nodes=2)
+        plan.validate(star)
+        assert plan.separator.size == 0 or plan.num_shards >= 2
+        sizes = np.bincount(
+            plan.shard_of[plan.shard_of >= 0], minlength=plan.num_shards
+        )
+        assert sizes.min() > 0  # no empty regions, ever
+
+    def test_tiny_path_never_crashes(self):
+        for n in range(2, 9):
+            graph = path_graph(n)
+            plan = separator_plan(graph, max_shard_nodes=2)
+            plan.validate(graph)
+
+    def test_make_plan_dispatches_on_config(self, small_grid):
+        comp = make_plan(small_grid, EngineConfig())
+        assert comp.strategy == "component"
+        sep = make_plan(
+            small_grid,
+            EngineConfig(shard_strategy="separator", max_shard_nodes=20),
+        )
+        assert sep.strategy == "separator"
+        assert sep.num_shards > 1
+
+    def test_bad_arguments_rejected(self, small_grid):
+        with pytest.raises(ValueError, match="separator method"):
+            separator_plan(small_grid, method="magic")
+        with pytest.raises(ValueError, match="max_shard_nodes"):
+            separator_plan(small_grid, max_shard_nodes=1)
+        with pytest.raises(ValueError, match="shard_strategy"):
+            EngineConfig(shard_strategy="magic")
+        with pytest.raises(ValueError, match="separator"):
+            EngineConfig(separator="magic")
+
+
+# ----------------------------------------------------------------------
+# exactness of the Schur cross-region path
+# ----------------------------------------------------------------------
+class TestExactness:
+    @pytest.mark.parametrize("graph_name", ["grid", "powerlaw", "sbm"])
+    @pytest.mark.parametrize("method", ["bisection", "kway"])
+    def test_matches_dense_reference(self, graph_name, method):
+        graph = {
+            "grid": lambda: grid_2d(16, 16, jitter=0.4, seed=1),
+            "powerlaw": lambda: barabasi_albert_graph(
+                300, 3, weight_low=0.5, weight_high=2.0, seed=2
+            ),
+            "sbm": _sbm_component,
+        }[graph_name]()
+        engine = build_engine(
+            graph,
+            EngineConfig(
+                method="exact", shard_strategy="separator",
+                max_shard_nodes=max(40, graph.num_nodes // 5),
+                separator=method,
+            ),
+        )
+        assert isinstance(engine, PartitionedEngine)
+        assert engine.plan.separator.size > 0, "test must exercise the Schur path"
+        rng = np.random.default_rng(0)
+        pairs = _probe_pairs(engine, rng)
+        expected = _reference(graph).query_pairs(pairs)
+        np.testing.assert_allclose(
+            engine.query_pairs(pairs), expected, rtol=1e-8, atol=1e-10
+        )
+
+    def test_multi_component_mix(self):
+        # two split components + one small whole component + isolated node
+        g1 = grid_2d(12, 12)
+        g2 = barabasi_albert_graph(150, 3, seed=4)
+        parts, offset = [], 0
+        heads, tails, weights = [], [], []
+        for g in (g1, g2, path_graph(5)):
+            heads.append(g.heads + offset)
+            tails.append(g.tails + offset)
+            weights.append(g.weights)
+            offset += g.num_nodes
+        graph = Graph(
+            offset + 1,  # plus one isolated node
+            np.concatenate(heads), np.concatenate(tails),
+            np.concatenate(weights),
+        )
+        engine = build_engine(
+            graph,
+            EngineConfig(
+                method="exact", shard_strategy="separator", max_shard_nodes=60
+            ),
+        )
+        assert engine.plan.split_components.size >= 2
+        rng = np.random.default_rng(3)
+        pairs = _probe_pairs(engine, rng)
+        got = engine.query_pairs(pairs)
+        expected = _reference(graph).query_pairs(pairs)
+        finite = np.isfinite(expected)
+        np.testing.assert_allclose(
+            got[finite], expected[finite], rtol=1e-8, atol=1e-10
+        )
+        assert np.array_equal(np.isfinite(got), finite)
+
+    def test_cholinv_regions_within_error_bound(self):
+        graph = grid_2d(20, 20, jitter=0.3, seed=6)
+        epsilon = 1e-4
+        sharded = build_engine(
+            graph,
+            EngineConfig(
+                epsilon=epsilon, drop_tol=1e-6,
+                shard_strategy="separator", max_shard_nodes=150,
+            ),
+        )
+        monolithic = build_engine(
+            graph, EngineConfig(epsilon=epsilon, drop_tol=1e-6)
+        )
+        exact = _reference(graph)
+        rng = np.random.default_rng(1)
+        pairs = _probe_pairs(sharded, rng)
+        truth = exact.query_pairs(pairs)
+        err_sharded = np.abs(sharded.query_pairs(pairs) - truth) / truth.clip(1e-12)
+        err_mono = np.abs(monolithic.query_pairs(pairs) - truth) / truth.clip(1e-12)
+        # region sharding must not degrade the configured accuracy: stay
+        # within a small factor of the monolithic engine's achieved error
+        # and well inside the coarse engineering bound
+        assert err_sharded.max() <= max(10 * err_mono.max(), 10 * epsilon)
+        assert err_sharded.max() < 0.01
+
+    def test_sharded_engine_alias_still_components(self, two_components):
+        engine = build_engine(two_components, EngineConfig(sharded=True))
+        assert isinstance(engine, ShardedEngine)
+        assert isinstance(engine, PartitionedEngine)
+        assert engine.plan.strategy == "component"
+        assert engine.num_shards == 2
+
+
+# ----------------------------------------------------------------------
+# lazy builds under concurrency
+# ----------------------------------------------------------------------
+class TestLazyAndConcurrency:
+    def test_lazy_matches_eager_bit_identical(self):
+        graph = grid_2d(14, 14, jitter=0.2, seed=2)
+        config = EngineConfig(
+            shard_strategy="separator", max_shard_nodes=70, lazy_shards=True
+        )
+        lazy = build_engine(graph, config)
+        eager = build_engine(graph, config.replace(lazy_shards=False))
+        assert lazy.shards_built == 0
+        rng = np.random.default_rng(5)
+        pairs = _probe_pairs(lazy, rng, count=200)
+        assert np.array_equal(lazy.query_pairs(pairs), eager.query_pairs(pairs))
+        assert lazy.shards_built == eager.shards_built
+
+    def test_concurrent_cold_queries_agree(self):
+        graph = barabasi_albert_graph(250, 3, seed=9)
+        config = EngineConfig(
+            method="exact", shard_strategy="separator",
+            max_shard_nodes=60, lazy_shards=True,
+        )
+        engine = build_engine(graph, config)
+        expected = build_engine(graph, config.replace(lazy_shards=False))
+        rng = np.random.default_rng(11)
+        batches = [_probe_pairs(engine, rng, count=80) for _ in range(8)]
+        results = [None] * len(batches)
+        errors = []
+
+        def hammer(i: int) -> None:
+            try:
+                results[i] = engine.query_pairs(batches[i])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(len(batches))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for batch, got in zip(batches, results):
+            assert np.array_equal(got, expected.query_pairs(batch))
+
+    def test_warm_up_workers_bit_identical(self):
+        graph = grid_2d(16, 16, jitter=0.2, seed=3)
+        config = EngineConfig(
+            shard_strategy="separator", max_shard_nodes=80, lazy_shards=True
+        )
+        rng = np.random.default_rng(2)
+        baseline_engine = build_engine(graph, config)
+        baseline_engine.warm_up(workers=1)
+        pairs = _probe_pairs(baseline_engine, rng)
+        baseline = baseline_engine.query_pairs(pairs)
+        for workers in (2, 4):
+            engine = build_engine(graph, config)
+            built = engine.warm_up(workers=workers)
+            assert built == engine.num_shards
+            assert np.array_equal(engine.query_pairs(pairs), baseline)
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+class TestPartitionedPersistence:
+    def _engine(self, lazy: bool = False) -> PartitionedEngine:
+        graph = grid_2d(14, 14, jitter=0.3, seed=8)
+        return build_engine(
+            graph,
+            EngineConfig(
+                epsilon=1e-3, shard_strategy="separator",
+                max_shard_nodes=70, lazy_shards=lazy,
+            ),
+        )
+
+    def test_round_trip_bit_identical(self, tmp_path):
+        engine = self._engine()
+        path = engine.save(tmp_path / "partitioned.npz")
+        restored = load_engine(path)
+        assert isinstance(restored, PartitionedEngine)
+        assert restored.plan.strategy == "separator"
+        assert np.array_equal(restored.plan.shard_of, engine.plan.shard_of)
+        rng = np.random.default_rng(4)
+        pairs = _probe_pairs(engine, rng)
+        assert np.array_equal(
+            restored.query_pairs(pairs), engine.query_pairs(pairs)
+        )
+        # restore is warm: nothing rebuilt to answer
+        assert restored.shards_built == engine.shards_built
+
+    def test_round_trip_mmap(self, tmp_path):
+        engine = self._engine()
+        path = engine.save(tmp_path / "partitioned.npz")
+        restored = load_engine(path, mmap=True)
+        rng = np.random.default_rng(4)
+        pairs = _probe_pairs(engine, rng)
+        assert np.array_equal(
+            restored.query_pairs(pairs), engine.query_pairs(pairs)
+        )
+
+    def test_partial_warm_save(self, tmp_path):
+        engine = self._engine(lazy=True)
+        rng = np.random.default_rng(6)
+        # touch one region so exactly some (not all) shards are built
+        members = engine.plan.members(0)
+        warm_pairs = np.column_stack(
+            [rng.choice(members, 30), rng.choice(members, 30)]
+        )
+        engine.query_pairs(warm_pairs)
+        assert 0 < engine.shards_built < engine.num_shards
+        restored = load_engine(engine.save(tmp_path / "partial.npz"))
+        assert restored.shards_built == engine.shards_built
+        pairs = _probe_pairs(engine, rng)
+        assert np.array_equal(
+            restored.query_pairs(pairs), engine.query_pairs(pairs)
+        )
+
+    def test_non_cholinv_regions_refuse(self, tmp_path):
+        graph = grid_2d(10, 10)
+        engine = build_engine(
+            graph,
+            EngineConfig(
+                method="exact", shard_strategy="separator", max_shard_nodes=40
+            ),
+        )
+        with pytest.raises(NotImplementedError, match="persistence"):
+            engine.save(tmp_path / "nope.npz")
+
+    def test_v1_files_still_load(self, tmp_path):
+        # a v1 archive has no "kind" member; the loader must default to
+        # the monolithic cholinv layout
+        graph = grid_2d(8, 8)
+        engine = build_engine(graph, EngineConfig(epsilon=1e-3))
+        path = engine.save(tmp_path / "v1.npz")
+        data = dict(np.load(path, allow_pickle=False))
+        data.pop("kind")
+        data.pop("format_version")
+        legacy = tmp_path / "legacy.npz"
+        np.savez(legacy, format_version=np.asarray(1), **data)
+        restored = load_engine(legacy)
+        pairs = graph.edge_array()
+        assert np.array_equal(
+            restored.query_pairs(pairs), engine.query_pairs(pairs)
+        )
+
+
+# ----------------------------------------------------------------------
+# planner / service routing
+# ----------------------------------------------------------------------
+class TestPlannerRouting:
+    def test_mixed_batch_routes_and_gathers(self):
+        graph = grid_2d(14, 14, jitter=0.2, seed=1)
+        engine = build_engine(
+            graph,
+            EngineConfig(
+                method="exact", shard_strategy="separator", max_shard_nodes=70
+            ),
+        )
+        rng = np.random.default_rng(7)
+        pairs = _probe_pairs(engine, rng)
+        pairs = np.concatenate([pairs, [[3, 3], [5, 5]]])  # self pairs
+        plan = QueryPlanner(engine).plan(pairs)
+        subbatches = plan.build_subbatches()
+        shard_ids = {sb.shard_id for sb in subbatches}
+        assert any(s < engine.num_shards for s in shard_ids)
+        assert any(s >= engine.num_shards for s in shard_ids), \
+            "mixed batch must produce a cross-region pseudo group"
+        for sb in subbatches:
+            plan.scatter(sb, plan.execute_subbatch(sb))
+        np.testing.assert_allclose(
+            plan.gather(), engine.query_pairs(pairs), rtol=1e-12
+        )
+
+    def test_pseudo_groups_use_global_ids(self):
+        graph = grid_2d(10, 10)
+        engine = build_engine(
+            graph,
+            EngineConfig(
+                method="exact", shard_strategy="separator", max_shard_nodes=40
+            ),
+        )
+        sep = engine.plan.separator
+        ps = np.array([int(sep[0])])
+        qs = np.array([int(sep[-1])])
+        groups = engine.shard_subbatches(ps, qs)
+        assert len(groups) == 1
+        shard_id, _, grouped = groups[0]
+        assert shard_id >= engine.num_shards
+        assert np.array_equal(grouped, np.column_stack([ps, qs]))
+
+
+# ----------------------------------------------------------------------
+# diagnostics / interface fixes
+# ----------------------------------------------------------------------
+class TestDiagnostics:
+    def test_negative_labels_are_interface_and_uncut(self, small_grid):
+        plan = separator_plan(small_grid, max_shard_nodes=20)
+        labels = plan.shard_of
+        roles = classify_nodes(small_grid, labels, ports=np.empty(0, np.int64))
+        assert np.all(roles[labels < 0] == 1)  # INTERFACE
+        # separator-touching edges are not block-to-block cut edges
+        cut = edge_cut(small_grid, labels)
+        heads, tails = small_grid.heads, small_grid.tails
+        pure = (labels[heads] >= 0) & (labels[tails] >= 0)
+        expected = small_grid.weights[
+            pure & (labels[heads] != labels[tails])
+        ].sum()
+        assert cut == pytest.approx(float(expected))
+
+    def test_partition_quality_ignores_separator(self, small_grid):
+        plan = separator_plan(small_grid, max_shard_nodes=20)
+        quality = partition_quality(small_grid, plan.shard_of)
+        assert quality.block_sizes.sum() + plan.separator.size == small_grid.num_nodes
+        assert quality.imbalance >= 1.0
+
+    def test_separator_only_labelling_does_not_crash(self, tiny_path):
+        labels = np.full(tiny_path.num_nodes, -1, dtype=np.int64)
+        quality = partition_quality(tiny_path, labels)
+        assert quality.block_sizes.sum() == 0
+        assert quality.imbalance == 1.0
+        assert edge_cut(tiny_path, labels) == 0.0
+
+    def test_separator_quality_values(self):
+        # 2 regions of 2 joined through one separator node 4:
+        # 0-1  2-3 regions, edges (1,4,w=2) and (2,4,w=3) couple them
+        graph = Graph(
+            5,
+            np.array([0, 2, 1, 2]),
+            np.array([1, 3, 4, 4]),
+            np.array([1.0, 1.0, 2.0, 3.0]),
+        )
+        labels = np.array([0, 0, 1, 1, -1])
+        reports = separator_quality(graph, labels)
+        assert len(reports) == 1
+        sq = reports[0]
+        assert isinstance(sq, SeparatorQuality)
+        assert sq.num_regions == 2
+        assert sq.separator_size == 1
+        assert sq.region_sizes.tolist() == [2, 2]
+        assert sq.separator_fraction == pytest.approx(0.2)
+        assert sq.coupling_weight == pytest.approx(5.0)
+        assert sq.imbalance == pytest.approx(1.0)
+
+    def test_partition_report_contents(self):
+        graph = grid_2d(12, 12)
+        engine = build_engine(
+            graph,
+            EngineConfig(
+                method="exact", shard_strategy="separator", max_shard_nodes=50
+            ),
+        )
+        report = engine.partition_report()
+        assert report["strategy"] == "separator"
+        assert report["num_shards"] == engine.num_shards
+        assert report["separator_size"] == engine.plan.separator.size
+        assert report["split_components"] == [0]
+        assert len(report["separators"]) == 1
+        assert report["partition"].block_sizes.sum() == (
+            graph.num_nodes - engine.plan.separator.size
+        )
