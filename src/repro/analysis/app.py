@@ -26,14 +26,21 @@ def build_arg_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=prog,
         description=(
-            "AST-based invariant checker: lock discipline, registry purity, "
-            "config-persistence drift, determinism, boundary validation, "
-            "mutable defaults"
+            "AST-based invariant checker: lock discipline, lock order, "
+            "atomicity, blocking-under-lock, executor escape, registry "
+            "purity, config-persistence drift, determinism, boundary "
+            "validation, mutable defaults"
         ),
     )
     parser.add_argument(
         "paths", nargs="*",
         help=f"files/directories to analyse (default: {DEFAULT_PATHS[0]})",
+    )
+    parser.add_argument(
+        "--paths", action="append", dest="extra_paths", metavar="PATH",
+        default=None,
+        help="additional file/directory to analyse (repeatable; combines "
+             "with positional paths)",
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
@@ -56,6 +63,14 @@ def build_arg_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list registered rules and exit",
     )
+    parser.add_argument(
+        "--lock-graph-dot", metavar="PATH", default=None,
+        help="also export the lock acquisition graph as DOT to PATH",
+    )
+    parser.add_argument(
+        "--lock-graph-json", metavar="PATH", default=None,
+        help="also export the lock acquisition graph as JSON to PATH",
+    )
     return parser
 
 
@@ -68,14 +83,31 @@ def main(argv: "Sequence[str] | None" = None) -> int:
             print(f"{rule_id} [{rule_cls.severity}] — {rule_cls.description}")
         return 0
 
-    paths = tuple(args.paths) or DEFAULT_PATHS
+    paths = tuple(args.paths) + tuple(args.extra_paths or ()) or DEFAULT_PATHS
     select = (
         [part.strip() for part in args.select.split(",") if part.strip()]
         if args.select
         else None
     )
+    if (
+        args.baseline is not None
+        and not args.write_baseline
+        and not Path(args.baseline).exists()
+    ):
+        print(
+            f"error: baseline file not found: {args.baseline} "
+            f"(pass --write-baseline to create it)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         report = run_analysis(paths, select=select)
+        if args.lock_graph_dot or args.lock_graph_json:
+            from repro.analysis.lockgraph import export_lock_graph
+
+            export_lock_graph(
+                paths, dot=args.lock_graph_dot, json_path=args.lock_graph_json
+            )
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

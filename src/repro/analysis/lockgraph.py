@@ -1,0 +1,320 @@
+"""The project-wide lock acquisition graph, with DOT/JSON export.
+
+Nodes are :class:`~repro.analysis.model.LockId` entries from the project
+model's inventory; an edge ``A → B`` means some thread can acquire ``B``
+while holding ``A`` — either by a nested ``with`` in one function, or by
+calling (transitively, through the model's call graph) a function that
+acquires ``B`` while ``A`` is held.  A cycle is a potential deadlock:
+two threads walking the cycle from different entry points can each hold
+the lock the other wants.
+
+Two kinds of self-edge are *not* deadlocks and are never added:
+
+* keyed collections (``dict[int, threading.Lock]``) — acquiring
+  ``locks[a]`` then ``locks[b]`` takes two different locks;
+* reentrant kinds (``RLock``, ``Condition``) — legal to re-acquire.
+
+The CI ``lint`` job exports the graph (``--lock-graph-dot`` /
+``--lock-graph-json``) as a build artifact, so every PR ships a picture
+of its locking structure; the ``lock-order`` rule turns each cycle into
+an error finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.framework import Finding, load_project
+from repro.analysis.model import LockId, ProjectModel, build_model
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Where one ordered acquisition was observed."""
+
+    function: str  #: qualname of the function holding the source lock
+    rel: str  #: file of the acquiring statement
+    line: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.function}:{self.line}"
+
+
+@dataclass
+class LockEdge:
+    """``src`` held while ``dst`` is acquired, with every witness site."""
+
+    src: LockId
+    dst: LockId
+    witnesses: "list[Witness]" = field(default_factory=list)
+
+
+class LockGraph:
+    """Directed lock-acquisition graph over a project's lock inventory."""
+
+    def __init__(self) -> None:
+        self.edges: "dict[tuple[LockId, LockId], LockEdge]" = {}
+
+    # ------------------------------------------------------------------
+    def add(self, src: LockId, dst: LockId, witness: Witness) -> None:
+        if src == dst and (src.keyed or src.reentrant):
+            # distinct keys / reentrant re-acquisition: not an ordering
+            return
+        edge = self.edges.get((src, dst))
+        if edge is None:
+            edge = LockEdge(src, dst)
+            self.edges[(src, dst)] = edge
+        if witness not in edge.witnesses:
+            edge.witnesses.append(witness)
+
+    @property
+    def nodes(self) -> "list[LockId]":
+        out: "set[LockId]" = set()
+        for src, dst in self.edges:
+            out.add(src)
+            out.add(dst)
+        return sorted(out, key=lambda lock: lock.label)
+
+    def successors(self, node: LockId) -> "list[LockId]":
+        return sorted(
+            (dst for src, dst in self.edges if src == node),
+            key=lambda lock: lock.label,
+        )
+
+    # ------------------------------------------------------------------
+    # cycles
+    # ------------------------------------------------------------------
+    def _sccs(self) -> "list[list[LockId]]":
+        """Tarjan strongly connected components (deterministic order)."""
+        index: "dict[LockId, int]" = {}
+        low: "dict[LockId, int]" = {}
+        on_stack: "set[LockId]" = set()
+        stack: "list[LockId]" = []
+        sccs: "list[list[LockId]]" = []
+        counter = [0]
+
+        def strongconnect(node: LockId) -> None:
+            index[node] = low[node] = counter[0]
+            counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for succ in self.successors(node):
+                if succ not in index:
+                    strongconnect(succ)
+                    low[node] = min(low[node], low[succ])
+                elif succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if low[node] == index[node]:
+                component: "list[LockId]" = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(component, key=lambda lock: lock.label))
+        for node in self.nodes:
+            if node not in index:
+                strongconnect(node)
+        return sorted(sccs, key=lambda scc: scc[0].label)
+
+    def cycles(self) -> "list[tuple[LockId, ...]]":
+        """One representative cycle per cyclic SCC (shortest through its
+        lexicographically first node; deterministic)."""
+        out: "list[tuple[LockId, ...]]" = []
+        for scc in self._sccs():
+            members = set(scc)
+            if len(scc) == 1 and (scc[0], scc[0]) not in self.edges:
+                continue
+            start = scc[0]
+            if len(scc) == 1:
+                out.append((start,))
+                continue
+            # BFS within the SCC from start back to start
+            parent: "dict[LockId, LockId]" = {}
+            queue = [start]
+            found = None
+            while queue and found is None:
+                node = queue.pop(0)
+                for succ in self.successors(node):
+                    if succ == start:
+                        found = node
+                        break
+                    if succ in members and succ not in parent:
+                        parent[succ] = node
+                        queue.append(succ)
+            if found is None:  # pragma: no cover - SCC guarantees a cycle
+                continue
+            path = [found]
+            while path[-1] != start:
+                path.append(parent[path[-1]])
+            out.append(tuple(reversed(path)))
+        return out
+
+    def cyclic_nodes(self) -> "set[LockId]":
+        """Every node that participates in some cycle."""
+        out: "set[LockId]" = set()
+        for scc in self._sccs():
+            if len(scc) > 1 or (scc[0], scc[0]) in self.edges:
+                out.update(scc)
+        return out
+
+    def cyclic_edges(self) -> "set[tuple[LockId, LockId]]":
+        """Every edge that participates in some cycle (both ends in one
+        cyclic SCC)."""
+        cyclic = self.cyclic_nodes()
+        scc_of: "dict[LockId, int]" = {}
+        for i, scc in enumerate(self._sccs()):
+            for node in scc:
+                scc_of[node] = i
+        return {
+            (src, dst)
+            for src, dst in self.edges
+            if src in cyclic
+            and dst in cyclic
+            and (scc_of[src] == scc_of[dst])
+        }
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def to_dot(self) -> str:
+        cyc_nodes = self.cyclic_nodes()
+        cyc_edges = self.cyclic_edges()
+        lines = [
+            "digraph lock_order {",
+            "  rankdir=LR;",
+            "  node [shape=box];",
+        ]
+        for node in self.nodes:
+            attrs = " [color=red]" if node in cyc_nodes else ""
+            lines.append(f'  "{node.label}"{attrs};')
+        for key in sorted(
+            self.edges, key=lambda pair: (pair[0].label, pair[1].label)
+        ):
+            edge = self.edges[key]
+            witness = min(edge.witnesses, key=lambda w: (w.function, w.line))
+            attrs = f'label="{witness.label}"'
+            if key in cyc_edges:
+                attrs += ", color=red"
+            lines.append(
+                f'  "{edge.src.label}" -> "{edge.dst.label}" [{attrs}];'
+            )
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> str:
+        payload = {
+            "version": 1,
+            "nodes": [
+                {
+                    "label": node.label,
+                    "owner": node.owner,
+                    "attr": node.attr,
+                    "keyed": node.keyed,
+                    "kind": node.kind,
+                    "defined": f"{node.rel}:{node.line}" if node.rel else None,
+                }
+                for node in self.nodes
+            ],
+            "edges": [
+                {
+                    "src": self.edges[key].src.label,
+                    "dst": self.edges[key].dst.label,
+                    "witnesses": [
+                        {
+                            "function": w.function,
+                            "location": f"{w.rel}:{w.line}",
+                        }
+                        for w in sorted(
+                            self.edges[key].witnesses,
+                            key=lambda w: (w.function, w.line),
+                        )
+                    ],
+                }
+                for key in sorted(
+                    self.edges,
+                    key=lambda pair: (pair[0].label, pair[1].label),
+                )
+            ],
+            "cycles": [
+                [node.label for node in cycle] for cycle in self.cycles()
+            ],
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+
+def build_lock_graph(model: ProjectModel) -> LockGraph:
+    """Assemble the acquisition graph from the model's lock events."""
+    graph = LockGraph()
+    for fn in sorted(model.functions, key=str):
+        info = model.functions[fn]
+        for event in info.events:
+            if not event.held:
+                continue
+            line = int(getattr(event.node, "lineno", 0))
+            witness = Witness(info.qualname, info.module.rel, line)
+            if event.kind == "acquire" and event.lock is not None:
+                for held in event.held:
+                    graph.add(held, event.lock, witness)
+            elif event.kind == "call" and isinstance(event.node, ast.Call):
+                for callee in info.resolved(event.node):
+                    callee_info = model.functions.get(callee)
+                    if callee_info is None:
+                        continue
+                    for acquired in callee_info.acquires:
+                        for held in event.held:
+                            graph.add(held, acquired, witness)
+    return graph
+
+
+def cycle_findings(graph: LockGraph, rule_id: str) -> "list[Finding]":
+    """One error finding per representative cycle, anchored at a witness."""
+    findings: "list[Finding]" = []
+    for cycle in graph.cycles():
+        closed = list(cycle) + [cycle[0]]
+        path = " -> ".join(node.label for node in closed)
+        witness = None
+        for src, dst in zip(closed, closed[1:]):
+            edge = graph.edges.get((src, dst))
+            if edge is not None and edge.witnesses:
+                witness = min(
+                    edge.witnesses, key=lambda w: (w.function, w.line)
+                )
+                break
+        if witness is None:  # pragma: no cover - cycles come from edges
+            continue
+        findings.append(
+            Finding(
+                path=witness.rel,
+                line=witness.line,
+                col=0,
+                rule=rule_id,
+                severity="error",
+                message=(
+                    f"lock acquisition cycle (potential deadlock): {path}; "
+                    f"one witness is '{witness.function}'"
+                ),
+            )
+        )
+    return findings
+
+
+def export_lock_graph(
+    paths: "Sequence[str | Path]",
+    dot: "str | None" = None,
+    json_path: "str | None" = None,
+) -> LockGraph:
+    """Build the graph for ``paths`` and write the requested artifacts."""
+    project, _ = load_project(paths)
+    graph = build_lock_graph(build_model(project))
+    if dot is not None:
+        Path(dot).write_text(graph.to_dot(), encoding="utf-8")
+    if json_path is not None:
+        Path(json_path).write_text(graph.to_json(), encoding="utf-8")
+    return graph

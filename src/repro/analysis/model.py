@@ -1,0 +1,1022 @@
+"""Shared project model consumed by the semantic concurrency passes.
+
+PR 6's rules are independent syntactic walks: each looks at one class or
+one module and pattern-matches.  The concurrency invariants that matter
+now — "no two locks are ever taken in opposite orders", "an engine build
+never runs while a hot lock is held" — are *interprocedural*: the second
+lock is usually acquired three calls away from the first, through an
+attribute whose type only the whole project knows.  This module parses
+the project **once** into a model the semantic rules share:
+
+:class:`LockId`
+    One mutual-exclusion primitive: the owning class (or module), the
+    attribute it lives in, whether it is a *keyed collection* of locks
+    (``dict[int, threading.Lock]`` — one node per collection, because
+    distinct keys are distinct locks), and its kind (``Lock``/``RLock``/
+    ``Condition`` — reentrant kinds may legally self-nest).
+:class:`ClassInfo` / :class:`FunctionInfo`
+    Symbol table entries carrying the lock inventory (discovered from
+    ``__init__`` assignments, dataclass fields and keyed ``setdefault``
+    creation), inferred attribute types (``self.x = ClassName(...)``,
+    annotated parameters stored on ``self``, annotated class fields) and
+    resolved call sites.
+:class:`ProjectModel`
+    The whole tree: classes, functions, a class-hierarchy-analysis call
+    graph resolved to a fixpoint (generalising the mini-fixpoint the
+    ``boundary-validation`` rule already ran), per-function *lock event*
+    streams (every acquisition and every call, with the locks held at
+    that point — including locks aliased through locals, e.g. ``lock =
+    self._build_locks.setdefault(...); with lock:``), and the transitive
+    lock set every function can acquire.
+
+The model is deliberately conservative where resolution fails: an
+unresolvable call contributes nothing (no phantom deadlocks), and a
+lock-looking ``with`` target that resolves to no inventory entry becomes
+an *inferred* lock so it still participates in ordering.  Helpers shared
+with the syntactic ``lock-discipline`` rule (:func:`is_lockish`,
+:func:`self_attr_root`, …) live here so both layers agree on what counts
+as a lock and what counts as a write.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import threading
+import weakref
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.framework import ModuleInfo, Project
+
+#: Identifier fragment that marks an object as a mutual-exclusion
+#: primitive — the single definition both analyzer layers share.
+LOCKISH = re.compile(r"lock|mutex|guard|cond", re.IGNORECASE)
+
+#: ``threading`` constructors that create locks, and the kind they make.
+LOCK_CTORS: "dict[str, str]" = {
+    "Lock": "Lock",
+    "RLock": "RLock",
+    "Condition": "Condition",
+    "Semaphore": "Semaphore",
+    "BoundedSemaphore": "Semaphore",
+}
+
+#: Kinds a thread may legally re-acquire while already holding them
+#: (``Condition`` wraps an ``RLock`` by default).
+REENTRANT_KINDS = frozenset({"RLock", "Condition"})
+
+#: Containers whose annotation marks a lock attribute as *keyed* — a
+#: collection of locks, one per key, like ``dict[int, threading.Lock]``.
+_KEYED_CONTAINERS = frozenset({"dict", "Dict", "defaultdict", "list", "List"})
+
+
+# ----------------------------------------------------------------------
+# helpers shared with the syntactic lock-discipline rule
+# ----------------------------------------------------------------------
+def is_lockish(expr: ast.expr) -> bool:
+    """Whether a ``with`` context expression looks like a lock object."""
+    if isinstance(expr, ast.Name):
+        return bool(LOCKISH.search(expr.id))
+    if isinstance(expr, ast.Attribute):
+        return bool(LOCKISH.search(expr.attr))
+    if isinstance(expr, ast.Subscript):
+        # ``with self._locks[c]:`` — the container name carries the intent
+        return is_lockish(expr.value)
+    return False
+
+
+def self_attr_root(target: ast.expr, self_name: str) -> "str | None":
+    """Root attribute of a ``self``-rooted target, else ``None``.
+
+    ``self.stats.queries += 1`` and ``self._engines[c] = e`` both resolve
+    to their root attribute (``stats`` / ``_engines``): what the lock
+    protects is the instance slot, however deep the access goes.
+    """
+    node = target
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self_name
+        ):
+            return node.attr
+        node = node.value
+    return None
+
+
+def write_targets(node: ast.stmt) -> "Iterator[ast.expr]":
+    """Assignment targets of a statement (flattening tuple unpacking)."""
+    targets: "list[ast.expr]" = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            yield from target.elts
+        else:
+            yield target
+
+
+@dataclass(frozen=True)
+class SelfAccess:
+    """One ``self.X``-rooted read or write inside a method."""
+
+    attr: str
+    method: str
+    node: ast.AST
+    locked: bool
+
+
+def scan_self_accesses(
+    method: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> "tuple[list[SelfAccess], list[SelfAccess]]":
+    """``(writes, reads)`` of ``self.X`` slots in ``method``, with lock depth.
+
+    Reads are ``self.X`` attribute loads (including the base of a
+    subscript store, which reads the container before mutating it);
+    targets of plain attribute stores are not reads.  Nested scopes
+    (functions, lambdas, classes) are skipped on both sides — they have
+    their own receiver and their own discipline.
+    """
+    if not method.args.args:
+        return [], []
+    self_name = method.args.args[0].arg
+    writes: "list[SelfAccess]" = []
+    reads: "list[SelfAccess]" = []
+
+    def visit(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inside = locked or any(
+                is_lockish(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                visit(item.context_expr, locked)
+            for child in node.body:
+                visit(child, inside)
+            return
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            return  # nested scope: its own receiver, its own discipline
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            for target in write_targets(node):
+                attr = self_attr_root(target, self_name)
+                if attr is not None:
+                    writes.append(SelfAccess(attr, method.name, node, locked))
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self_name
+        ):
+            reads.append(SelfAccess(node.attr, method.name, node, locked))
+        for child in ast.iter_child_nodes(node):
+            visit(child, locked)
+
+    for statement in method.body:
+        visit(statement, False)
+    return writes, reads
+
+
+# ----------------------------------------------------------------------
+# model dataclasses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, order=True)
+class LockId:
+    """Identity of one lock (or one keyed collection of locks)."""
+
+    owner: str  #: qualname of the owning class (or module, or function)
+    attr: str  #: attribute / variable name the lock lives in
+    keyed: bool = False  #: a dict/list of locks — distinct keys, distinct locks
+    kind: str = field(default="Lock", compare=False)
+    rel: str = field(default="", compare=False)  #: defining file
+    line: int = field(default=0, compare=False)  #: defining line
+
+    @property
+    def reentrant(self) -> bool:
+        return self.kind in REENTRANT_KINDS
+
+    @property
+    def label(self) -> str:
+        suffix = "[*]" if self.keyed else ""
+        return f"{self.owner}.{self.attr}{suffix}"
+
+
+@dataclass(frozen=True)
+class LockEvent:
+    """One acquisition or call inside a function, with the locks held."""
+
+    kind: str  #: ``"acquire"`` or ``"call"``
+    node: ast.AST
+    held: "tuple[LockId, ...]"  #: locks held *before* this event
+    lock: "LockId | None" = None  #: the acquired lock (``kind == "acquire"``)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method: AST, resolved calls, lock behaviour."""
+
+    qualname: str
+    name: str
+    module: ModuleInfo
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    owner_class: "str | None" = None
+    calls: "dict[int, tuple[str, ...]]" = field(default_factory=dict)
+    callees: "frozenset[str]" = frozenset()
+    events: "tuple[LockEvent, ...]" = ()
+    direct_acquires: "frozenset[LockId]" = frozenset()
+    acquires: "frozenset[LockId]" = frozenset()  #: transitive (fixpoint)
+
+    def resolved(self, call: ast.Call) -> "tuple[str, ...]":
+        """Callee qualnames resolved for one call node of this function."""
+        return self.calls.get(id(call), ())
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, bases, lock inventory, inferred attribute types."""
+
+    qualname: str
+    name: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    bases: "tuple[str, ...]" = ()  #: resolved project base qualnames
+    methods: "dict[str, FunctionInfo]" = field(default_factory=dict)
+    locks: "dict[str, LockId]" = field(default_factory=dict)
+    attr_types: "dict[str, frozenset[str]]" = field(default_factory=dict)
+    guarded_attrs: "frozenset[str]" = frozenset()  #: attrs written under a lock
+
+
+def _final_name(expr: ast.expr) -> "str | None":
+    """Trailing identifier of a name/attribute chain (``a.b.c`` → ``c``)."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _lock_ctor_kind(expr: ast.expr) -> "str | None":
+    """``threading.Lock()`` / ``RLock()`` / … → its kind, else ``None``."""
+    if not isinstance(expr, ast.Call):
+        return None
+    name = _final_name(expr.func)
+    return LOCK_CTORS.get(name) if name is not None else None
+
+
+def _annotation_names(node: "ast.expr | None") -> "set[str]":
+    """Every identifier mentioned by an annotation (strings parsed too)."""
+    names: "set[str]" = set()
+    if node is None:
+        return names
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return names
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            try:
+                inner = ast.parse(sub.value, mode="eval").body
+            except SyntaxError:
+                continue
+            for leaf in ast.walk(inner):
+                if isinstance(leaf, ast.Name):
+                    names.add(leaf.id)
+                elif isinstance(leaf, ast.Attribute):
+                    names.add(leaf.attr)
+    return names
+
+
+class ProjectModel:
+    """Symbol table + lock inventory + call graph of one parsed project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.classes: "dict[str, ClassInfo]" = {}
+        self.functions: "dict[str, FunctionInfo]" = {}
+        self.module_locks: "dict[str, LockId]" = {}
+        self._scopes: "dict[str, dict[str, str]]" = {}
+        self._module_names: "set[str]" = {m.module for m in project}
+        self._by_class_name: "dict[str, list[str]]" = {}
+        self._subclasses: "dict[str, set[str]]" = {}
+        self._collect_symbols()
+        self._bind_scopes()
+        self._resolve_bases()
+        self._discover_locks()
+        self._infer_attr_types()
+        self._scan_guarded_attrs()
+        self._resolve_calls()
+        self._collect_events()
+        self._fix_acquires()
+
+    # ------------------------------------------------------------------
+    # symbol collection
+    # ------------------------------------------------------------------
+    def _collect_symbols(self) -> None:
+        for module in self.project:
+            for stmt in module.tree.body:
+                if isinstance(stmt, ast.ClassDef):
+                    qual = f"{module.module}.{stmt.name}"
+                    info = ClassInfo(qual, stmt.name, module, stmt)
+                    self.classes[qual] = info
+                    self._by_class_name.setdefault(stmt.name, []).append(qual)
+                    for item in stmt.body:
+                        if isinstance(
+                            item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            fq = f"{qual}.{item.name}"
+                            fn = FunctionInfo(
+                                fq, item.name, module, item, owner_class=qual
+                            )
+                            info.methods[item.name] = fn
+                            self.functions[fq] = fn
+                elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fq = f"{module.module}.{stmt.name}"
+                    self.functions[fq] = FunctionInfo(
+                        fq, stmt.name, module, stmt
+                    )
+
+    def _resolve_module(self, dotted: str) -> "str | None":
+        """Map an import path onto a scanned module, tolerating prefixes.
+
+        Scanning ``src/repro`` names modules relative to that root
+        (``core.engine``), while sources import ``repro.core.engine`` —
+        leading components are stripped until a scanned module matches.
+        """
+        parts = dotted.split(".")
+        for start in range(len(parts)):
+            candidate = ".".join(parts[start:])
+            if candidate in self._module_names:
+                return candidate
+        return None
+
+    def _bind_scopes(self) -> None:
+        for module in self.project:
+            scope: "dict[str, str]" = {}
+            for stmt in module.tree.body:
+                if isinstance(stmt, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scope[stmt.name] = f"{module.module}.{stmt.name}"
+            # imports bind wherever they appear (several live inside
+            # functions to break cycles); module scope over-approximates
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        resolved = self._resolve_module(alias.name)
+                        if resolved is not None:
+                            scope[alias.asname or alias.name] = resolved
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    base = self._resolve_module(node.module)
+                    for alias in node.names:
+                        bound = alias.asname or alias.name
+                        as_module = self._resolve_module(
+                            f"{node.module}.{alias.name}"
+                        )
+                        if base is not None:
+                            scope[bound] = f"{base}.{alias.name}"
+                        elif as_module is not None:
+                            scope[bound] = as_module
+            self._scopes[module.module] = scope
+
+    def _lookup(self, module: ModuleInfo, name: str) -> "str | None":
+        return self._scopes.get(module.module, {}).get(name)
+
+    def resolve_name(self, module: ModuleInfo, name: str) -> "str | None":
+        """What bare ``name`` denotes at ``module`` scope (qualname), if
+        it resolves to a scanned symbol or module at all."""
+        return self._lookup(module, name)
+
+    def _resolve_bases(self) -> None:
+        for info in self.classes.values():
+            bases: "list[str]" = []
+            for base in info.node.bases:
+                name: "str | None" = None
+                if isinstance(base, ast.Name):
+                    name = self._lookup(info.module, base.id)
+                elif isinstance(base, ast.Attribute):
+                    candidates = self._by_class_name.get(base.attr)
+                    name = self._lookup(info.module, base.attr) or (
+                        candidates[0] if candidates else None
+                    )
+                if name is not None and name in self.classes:
+                    bases.append(name)
+            info.bases = tuple(bases)
+            for base_qual in bases:
+                self._subclasses.setdefault(base_qual, set()).add(info.qualname)
+
+    # ------------------------------------------------------------------
+    # class hierarchy
+    # ------------------------------------------------------------------
+    def mro(self, qualname: str) -> "Iterator[ClassInfo]":
+        """The class and its project bases, depth-first, no duplicates."""
+        seen: "set[str]" = set()
+        stack = [qualname]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen or qual not in self.classes:
+                continue
+            seen.add(qual)
+            info = self.classes[qual]
+            yield info
+            stack.extend(info.bases)
+
+    def subclasses(self, qualname: str) -> "Iterator[ClassInfo]":
+        """Every transitive project subclass of ``qualname``."""
+        seen: "set[str]" = set()
+        stack = list(self._subclasses.get(qualname, ()))
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            if qual in self.classes:
+                yield self.classes[qual]
+            stack.extend(self._subclasses.get(qual, ()))
+
+    def resolve_method(self, qualname: str, name: str) -> "list[FunctionInfo]":
+        """CHA resolution of ``obj.name()`` where ``obj: qualname``.
+
+        The first definition along the MRO plus every subclass override —
+        the receiver may be any subclass of the annotated type.
+        """
+        out: "list[FunctionInfo]" = []
+        for info in self.mro(qualname):
+            if name in info.methods:
+                out.append(info.methods[name])
+                break
+        for sub in self.subclasses(qualname):
+            if name in sub.methods:
+                out.append(sub.methods[name])
+        return out
+
+    # ------------------------------------------------------------------
+    # lock inventory
+    # ------------------------------------------------------------------
+    def _discover_locks(self) -> None:
+        for info in self.classes.values():
+            rel = info.module.rel
+            for item in info.node.body:  # dataclass fields / class vars
+                if isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    names = _annotation_names(item.annotation)
+                    kinds = [LOCK_CTORS[n] for n in names if n in LOCK_CTORS]
+                    factory = self._field_factory_kind(item.value)
+                    if kinds or factory:
+                        keyed = bool(names & _KEYED_CONTAINERS)
+                        kind = factory or kinds[0]
+                        info.locks[item.target.id] = LockId(
+                            info.qualname, item.target.id, keyed, kind,
+                            rel, item.lineno,
+                        )
+                elif isinstance(item, ast.Assign):
+                    kind_ = _lock_ctor_kind(item.value)
+                    if kind_ is not None:
+                        for target in item.targets:
+                            if isinstance(target, ast.Name):
+                                info.locks[target.id] = LockId(
+                                    info.qualname, target.id, False, kind_,
+                                    rel, item.lineno,
+                                )
+            for method in info.methods.values():
+                self._discover_method_locks(info, method)
+        for module in self.project:  # module-level locks
+            for stmt in module.tree.body:
+                if isinstance(stmt, ast.Assign):
+                    kind = _lock_ctor_kind(stmt.value)
+                    if kind is None:
+                        continue
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            qual = f"{module.module}.{target.id}"
+                            self.module_locks[qual] = LockId(
+                                module.module, target.id, False, kind,
+                                module.rel, stmt.lineno,
+                            )
+
+    @staticmethod
+    def _field_factory_kind(value: "ast.expr | None") -> "str | None":
+        """``field(default_factory=threading.Lock)`` → ``"Lock"``."""
+        if not isinstance(value, ast.Call):
+            return None
+        if _final_name(value.func) != "field":
+            return None
+        for kw in value.keywords:
+            if kw.arg == "default_factory":
+                name = _final_name(kw.value)
+                if name in LOCK_CTORS:
+                    return LOCK_CTORS[name]
+        return None
+
+    def _discover_method_locks(
+        self, info: ClassInfo, method: FunctionInfo
+    ) -> None:
+        node = method.node
+        if not node.args.args:
+            return
+        self_name = node.args.args[0].arg
+        rel = info.module.rel
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                value = sub.value
+                kind = _lock_ctor_kind(value) if value is not None else None
+                ann_names = (
+                    _annotation_names(sub.annotation)
+                    if isinstance(sub, ast.AnnAssign)
+                    else set()
+                )
+                ann_kinds = [
+                    LOCK_CTORS[n] for n in ann_names if n in LOCK_CTORS
+                ]
+                if kind is None and not ann_kinds:
+                    continue
+                for target in write_targets(sub):
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == self_name
+                    ):
+                        keyed = bool(ann_names & _KEYED_CONTAINERS)
+                        info.locks.setdefault(
+                            target.attr,
+                            LockId(
+                                info.qualname, target.attr, keyed,
+                                kind or ann_kinds[0], rel, sub.lineno,
+                            ),
+                        )
+                    elif (
+                        kind is not None
+                        and isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and isinstance(target.value.value, ast.Name)
+                        and target.value.value.id == self_name
+                    ):
+                        # self._locks[key] = threading.Lock(): keyed map
+                        info.locks.setdefault(
+                            target.value.attr,
+                            LockId(
+                                info.qualname, target.value.attr, True,
+                                kind, rel, sub.lineno,
+                            ),
+                        )
+            elif isinstance(sub, ast.Call):
+                # self._locks.setdefault(key, threading.Lock())
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "setdefault"
+                    and len(sub.args) == 2
+                    and _lock_ctor_kind(sub.args[1]) is not None
+                    and isinstance(func.value, ast.Attribute)
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id == self_name
+                ):
+                    kind2 = _lock_ctor_kind(sub.args[1])
+                    assert kind2 is not None
+                    info.locks.setdefault(
+                        func.value.attr,
+                        LockId(
+                            info.qualname, func.value.attr, True, kind2,
+                            rel, sub.lineno,
+                        ),
+                    )
+
+    # ------------------------------------------------------------------
+    # attribute / local type inference
+    # ------------------------------------------------------------------
+    def _classes_from_annotation(
+        self, module: ModuleInfo, node: "ast.expr | None"
+    ) -> "frozenset[str]":
+        out: "set[str]" = set()
+        for name in _annotation_names(node):
+            resolved = self._lookup(module, name)
+            if resolved is not None and resolved in self.classes:
+                out.add(resolved)
+            elif name in self._by_class_name and resolved is None:
+                # annotation names a project class not imported here
+                # (string forward reference) — unique bare names resolve
+                candidates = self._by_class_name[name]
+                if len(candidates) == 1:
+                    out.add(candidates[0])
+        return frozenset(out)
+
+    def _expr_types(
+        self,
+        fn: FunctionInfo,
+        expr: ast.expr,
+        env: "dict[str, frozenset[str]]",
+    ) -> "frozenset[str]":
+        """Project classes an expression may evaluate to (best effort)."""
+        module = fn.module
+        if isinstance(expr, ast.Name):
+            if expr.id in env:
+                return env[expr.id]
+            resolved = self._lookup(module, expr.id)
+            if resolved is not None and resolved in self.classes:
+                return frozenset({resolved})  # the class object itself
+            return frozenset()
+        if isinstance(expr, ast.Call):
+            name: "str | None" = None
+            if isinstance(expr.func, ast.Name):
+                name = self._lookup(module, expr.func.id)
+            elif isinstance(expr.func, ast.Attribute):
+                name = self._lookup(module, expr.func.attr)
+            if name is None:
+                return frozenset()
+            if name in self.classes:
+                return frozenset({name})
+            if name in self.functions:
+                target = self.functions[name]
+                return self._classes_from_annotation(
+                    target.module, target.node.returns
+                )
+            return frozenset()
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and fn.owner_class is not None
+            and fn.node.args.args
+            and expr.value.id == fn.node.args.args[0].arg
+        ):
+            return self._attr_types(fn.owner_class, expr.attr)
+        return frozenset()
+
+    def _attr_types(self, class_qual: str, attr: str) -> "frozenset[str]":
+        for info in self.mro(class_qual):
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+        return frozenset()
+
+    def _local_env(self, fn: FunctionInfo) -> "dict[str, frozenset[str]]":
+        """Flow-insensitive local-name → project-class types for ``fn``."""
+        env: "dict[str, frozenset[str]]" = {}
+        args = fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            types = self._classes_from_annotation(fn.module, arg.annotation)
+            if types:
+                env[arg.arg] = types
+        if fn.owner_class is not None and args.args:
+            first = args.args[0].arg
+            if first in ("self", "cls"):
+                env[first] = frozenset({fn.owner_class})
+        for stmt in ast.walk(fn.node):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    types = self._expr_types(fn, stmt.value, env)
+                    if types:
+                        env[target.id] = types
+                elif (
+                    isinstance(target, (ast.Tuple, ast.List))
+                    and isinstance(stmt.value, (ast.Tuple, ast.List))
+                    and len(target.elts) == len(stmt.value.elts)
+                ):
+                    # engine, graph = self.engine, self.graph
+                    for sub_target, sub_value in zip(
+                        target.elts, stmt.value.elts
+                    ):
+                        if isinstance(sub_target, ast.Name):
+                            types = self._expr_types(fn, sub_value, env)
+                            if types:
+                                env[sub_target.id] = types
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                types = self._classes_from_annotation(fn.module, stmt.annotation)
+                if types:
+                    env[stmt.target.id] = types
+        return env
+
+    def _infer_attr_types(self) -> None:
+        for info in self.classes.values():
+            types: "dict[str, set[str]]" = {}
+            for item in info.node.body:  # annotated class fields
+                if isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    found = self._classes_from_annotation(
+                        info.module, item.annotation
+                    )
+                    if found:
+                        types.setdefault(item.target.id, set()).update(found)
+            for method in info.methods.values():
+                node = method.node
+                if not node.args.args:
+                    continue
+                self_name = node.args.args[0].arg
+                env = self._local_env(method)
+                for stmt in ast.walk(node):
+                    if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                        continue
+                    if stmt.value is None:
+                        continue
+                    for target in write_targets(stmt):
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == self_name
+                        ):
+                            found = self._expr_types(method, stmt.value, env)
+                            if isinstance(stmt, ast.AnnAssign):
+                                found = found | self._classes_from_annotation(
+                                    info.module, stmt.annotation
+                                )
+                            if found:
+                                types.setdefault(target.attr, set()).update(
+                                    found
+                                )
+            info.attr_types = {
+                attr: frozenset(vals) for attr, vals in types.items()
+            }
+
+    def _scan_guarded_attrs(self) -> None:
+        for info in self.classes.values():
+            guarded: "set[str]" = set()
+            for method in info.methods.values():
+                writes, _ = scan_self_accesses(method.node)
+                guarded.update(w.attr for w in writes if w.locked)
+            info.guarded_attrs = frozenset(guarded)
+
+    def guarded_attrs(self, class_qual: str) -> "frozenset[str]":
+        """Attrs written under a lock anywhere in the class or its bases."""
+        out: "set[str]" = set()
+        for info in self.mro(class_qual):
+            out.update(info.guarded_attrs)
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # call resolution
+    # ------------------------------------------------------------------
+    def _resolve_call(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        env: "dict[str, frozenset[str]]",
+    ) -> "tuple[str, ...]":
+        func = call.func
+        out: "list[str]" = []
+        if isinstance(func, ast.Name):
+            resolved = self._lookup(fn.module, func.id)
+            if resolved is not None and resolved in self.functions:
+                out.append(resolved)
+            elif resolved is not None and resolved in self.classes:
+                # ClassName(...) → its __init__
+                init = self.classes[resolved].methods.get("__init__")
+                if init is not None:
+                    out.append(init.qualname)
+        elif isinstance(func, ast.Attribute):
+            receiver = func.value
+            if (
+                isinstance(receiver, ast.Call)
+                and isinstance(receiver.func, ast.Name)
+                and receiver.func.id == "super"
+                and fn.owner_class is not None
+            ):
+                mro = list(self.mro(fn.owner_class))
+                for info in mro[1:]:
+                    if func.attr in info.methods:
+                        out.append(info.methods[func.attr].qualname)
+                        break
+            else:
+                for class_qual in sorted(self._expr_types(fn, receiver, env)):
+                    for target in self.resolve_method(class_qual, func.attr):
+                        out.append(target.qualname)
+                if not out and isinstance(receiver, ast.Name):
+                    resolved = self._lookup(fn.module, receiver.id)
+                    if resolved is not None and resolved in self._module_names:
+                        qual = f"{resolved}.{func.attr}"
+                        if qual in self.functions:
+                            out.append(qual)
+                        elif qual in self.classes:
+                            init = self.classes[qual].methods.get("__init__")
+                            if init is not None:
+                                out.append(init.qualname)
+        seen: "dict[str, None]" = dict.fromkeys(out)
+        return tuple(seen)
+
+    def _resolve_calls(self) -> None:
+        for fn in self.functions.values():
+            env = self._local_env(fn)
+            calls: "dict[int, tuple[str, ...]]" = {}
+            callees: "set[str]" = set()
+            for node in self._own_body_walk(fn.node):
+                if isinstance(node, ast.Call):
+                    targets = self._resolve_call(fn, node, env)
+                    if targets:
+                        calls[id(node)] = targets
+                        callees.update(targets)
+            fn.calls = calls
+            fn.callees = frozenset(callees)
+
+    @staticmethod
+    def _own_body_walk(
+        root: "ast.FunctionDef | ast.AsyncFunctionDef",
+    ) -> "Iterator[ast.AST]":
+        """Walk a function's own body, not entering nested scopes."""
+        stack: "list[ast.AST]" = list(root.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    # ------------------------------------------------------------------
+    # lock events
+    # ------------------------------------------------------------------
+    def resolve_lock_expr(
+        self,
+        fn: FunctionInfo,
+        expr: ast.expr,
+        aliases: "dict[str, LockId]",
+        env: "dict[str, frozenset[str]]",
+    ) -> "LockId | None":
+        """The :class:`LockId` a ``with`` target (or alias RHS) denotes."""
+        if isinstance(expr, ast.Name):
+            if expr.id in aliases:
+                return aliases[expr.id]
+            own = f"{fn.module.module}.{expr.id}"
+            if own in self.module_locks:
+                return self.module_locks[own]
+            bound = self._lookup(fn.module, expr.id)
+            if bound is not None and bound in self.module_locks:
+                return self.module_locks[bound]
+            if LOCKISH.search(expr.id):
+                return LockId(fn.qualname, expr.id, False, "inferred")
+            return None
+        if isinstance(expr, ast.Attribute):
+            found = self._attribute_lock(fn, expr, env)
+            if found is not None:
+                return found
+            if LOCKISH.search(expr.attr):
+                owner = fn.owner_class or fn.qualname
+                return LockId(owner, expr.attr, False, "inferred")
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = expr.value
+            if isinstance(base, (ast.Attribute, ast.Name)):
+                found = (
+                    self._attribute_lock(fn, base, env)
+                    if isinstance(base, ast.Attribute)
+                    else aliases.get(base.id)
+                )
+                if found is not None:
+                    return found
+            if is_lockish(expr):
+                owner = fn.owner_class or fn.qualname
+                name = _final_name(base) or "?"
+                return LockId(owner, name, True, "inferred")
+            return None
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            # lock = self._build_locks.setdefault(key, threading.Lock())
+            if expr.func.attr in ("setdefault", "get") and isinstance(
+                expr.func.value, (ast.Attribute, ast.Name)
+            ):
+                base2 = expr.func.value
+                if isinstance(base2, ast.Attribute):
+                    return self._attribute_lock(fn, base2, env)
+                return aliases.get(base2.id)
+        return None
+
+    def _attribute_lock(
+        self,
+        fn: FunctionInfo,
+        expr: ast.Attribute,
+        env: "dict[str, frozenset[str]]",
+    ) -> "LockId | None":
+        """``self._lock`` / ``obj._lock`` → the inventory entry, if any."""
+        receiver = expr.value
+        if (
+            isinstance(receiver, ast.Name)
+            and fn.owner_class is not None
+            and fn.node.args.args
+            and receiver.id == fn.node.args.args[0].arg
+        ):
+            for info in self.mro(fn.owner_class):
+                if expr.attr in info.locks:
+                    return info.locks[expr.attr]
+            return None
+        for class_qual in sorted(self._expr_types(fn, receiver, env)):
+            for info in self.mro(class_qual):
+                if expr.attr in info.locks:
+                    return info.locks[expr.attr]
+        return None
+
+    def _collect_events(self) -> None:
+        for fn in self.functions.values():
+            env = self._local_env(fn)
+            aliases: "dict[str, LockId]" = {}
+            for node in self._own_body_walk(fn.node):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    lock = self.resolve_lock_expr(fn, node.value, aliases, env)
+                    if lock is not None:
+                        aliases[node.targets[0].id] = lock
+            events: "list[LockEvent]" = []
+
+            def visit(
+                node: ast.AST, held: "tuple[LockId, ...]", fn: FunctionInfo,
+                aliases: "dict[str, LockId]",
+                env: "dict[str, frozenset[str]]",
+                events: "list[LockEvent]",
+            ) -> None:
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    inner = held
+                    for item in node.items:
+                        for sub in ast.walk(item.context_expr):
+                            if isinstance(sub, ast.Call):
+                                events.append(LockEvent("call", sub, inner))
+                        lock = self.resolve_lock_expr(
+                            fn, item.context_expr, aliases, env
+                        )
+                        if lock is not None:
+                            events.append(
+                                LockEvent(
+                                    "acquire", item.context_expr, inner, lock
+                                )
+                            )
+                            inner = inner + (lock,)
+                    for child in node.body:
+                        visit(child, inner, fn, aliases, env, events)
+                    return
+                if isinstance(
+                    node,
+                    (
+                        ast.FunctionDef,
+                        ast.AsyncFunctionDef,
+                        ast.Lambda,
+                        ast.ClassDef,
+                    ),
+                ):
+                    return
+                if isinstance(node, ast.Call):
+                    events.append(LockEvent("call", node, held))
+                for child in ast.iter_child_nodes(node):
+                    visit(child, held, fn, aliases, env, events)
+
+            for stmt in fn.node.body:
+                visit(stmt, (), fn, aliases, env, events)
+            fn.events = tuple(events)
+            fn.direct_acquires = frozenset(
+                e.lock for e in fn.events if e.kind == "acquire" and e.lock
+            )
+
+    # ------------------------------------------------------------------
+    # transitive acquisition fixpoint
+    # ------------------------------------------------------------------
+    def _fix_acquires(self) -> None:
+        star: "dict[str, set[LockId]]" = {
+            qual: set(fn.direct_acquires)
+            for qual, fn in self.functions.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qual, fn in self.functions.items():
+                mine = star[qual]
+                before = len(mine)
+                for callee in fn.callees:
+                    if callee in star:
+                        mine.update(star[callee])
+                if len(mine) != before:
+                    changed = True
+        for qual, fn in self.functions.items():
+            fn.acquires = frozenset(star[qual])
+
+
+# ----------------------------------------------------------------------
+# memoised construction
+# ----------------------------------------------------------------------
+_model_cache: "list[tuple[weakref.ref[Project], ProjectModel]]" = []
+_model_cache_lock = threading.Lock()
+
+
+def build_model(project: Project) -> ProjectModel:
+    """Build (or reuse) the :class:`ProjectModel` for a parsed project.
+
+    Several rules consume the model in one :func:`~repro.analysis.framework.
+    run_analysis` call; identity-keyed memoisation (weakly referenced, so
+    dead projects never pin their ASTs) makes that one build, not four.
+    """
+    with _model_cache_lock:
+        for ref, model in _model_cache:
+            if ref() is project:
+                return model
+        model = ProjectModel(project)
+        _model_cache[:] = [
+            (ref, cached) for ref, cached in _model_cache if ref() is not None
+        ][-4:]
+        _model_cache.append((weakref.ref(project), model))
+        return model

@@ -7,10 +7,14 @@ here and importing it below (see ``repro/analysis/README.md``).
 """
 
 from repro.analysis.rules import (  # noqa: F401
+    atomicity,
+    blocking_under_lock,
     boundary_validation,
     config_drift,
     determinism,
+    executor_escape,
     lock_discipline,
+    lock_order,
     mutable_defaults,
     registry_purity,
 )

@@ -1,0 +1,72 @@
+"""Rule ``atomicity`` — the read-side twin of ``lock-discipline``.
+
+``lock-discipline`` stops unlocked *writes* to guarded state, but a torn
+*read* is just as wrong: ``self.engine`` and ``self.graph`` are swapped
+together under ``ResistanceService._lock``, so a method that reads them
+without the lock can observe the new engine next to the old graph.  The
+rule is the mirror image of the write side:
+
+    for every class, any ``self.X`` attribute that is ever *written*
+    inside a ``with`` block whose context manager looks like a lock must
+    never be *read* outside such a block in the same class — except in
+    ``__init__``, where the object is not yet shared.
+
+Root-attribute resolution and "looks like a lock" are shared with
+``lock-discipline`` (:mod:`repro.analysis.model`): ``self.stats.reads``
+reads root slot ``stats``; the base of a subscript store
+(``self._engines[c] = e``) counts as a read of the container.  Reads
+inside nested functions/lambdas are out of scope (their execution time
+is unknowable syntactically).  Deliberately racy snapshots — progress
+counters, ``repr``, double-checked fast paths — carry a reasoned
+``# repro: ignore[atomicity]``, which is exactly the load-bearing
+comment such a read deserves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, ModuleInfo, Rule, register_rule
+from repro.analysis.model import SelfAccess, scan_self_accesses
+
+
+@register_rule
+class AtomicityRule(Rule):
+    rule_id = "atomicity"
+    severity = "error"
+    description = (
+        "attributes ever written under a lock must also be read "
+        "under one (outside __init__)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> "Iterable[Finding]":
+        findings: "list[Finding]" = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            writes: "list[SelfAccess]" = []
+            reads: "list[SelfAccess]" = []
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    item_writes, item_reads = scan_self_accesses(item)
+                    writes.extend(item_writes)
+                    reads.extend(item_reads)
+            guarded = {w.attr for w in writes if w.locked}
+            for read in reads:
+                if (
+                    read.attr in guarded
+                    and not read.locked
+                    and read.method != "__init__"
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            read.node,
+                            f"attribute 'self.{read.attr}' is written under "
+                            f"a lock elsewhere in class '{node.name}' but "
+                            f"method '{read.method}' reads it without "
+                            f"holding one",
+                        )
+                    )
+        return findings

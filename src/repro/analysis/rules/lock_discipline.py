@@ -27,103 +27,10 @@ kind of load-bearing comment the convention wants written down.
 from __future__ import annotations
 
 import ast
-import re
-from typing import Iterable, Iterator
+from typing import Iterable
 
 from repro.analysis.framework import Finding, ModuleInfo, Rule, register_rule
-
-_LOCKISH = re.compile(r"lock|mutex|guard|cond", re.IGNORECASE)
-
-
-def _is_lockish(expr: ast.expr) -> bool:
-    """Whether a ``with`` context expression looks like a lock object."""
-    if isinstance(expr, ast.Name):
-        return bool(_LOCKISH.search(expr.id))
-    if isinstance(expr, ast.Attribute):
-        return bool(_LOCKISH.search(expr.attr))
-    if isinstance(expr, ast.Subscript):
-        # ``with self._locks[c]:`` — the container name carries the intent
-        return _is_lockish(expr.value)
-    return False
-
-
-def _self_attr_root(target: ast.expr, self_name: str) -> "str | None":
-    """Root attribute of a ``self``-rooted write target, else ``None``.
-
-    ``self.stats.queries += 1`` and ``self._engines[c] = e`` both resolve
-    to their root attribute (``stats`` / ``_engines``): what the lock
-    protects is the instance slot, however deep the mutation goes.
-    """
-    node = target
-    while isinstance(node, (ast.Attribute, ast.Subscript)):
-        if (
-            isinstance(node, ast.Attribute)
-            and isinstance(node.value, ast.Name)
-            and node.value.id == self_name
-        ):
-            return node.attr
-        node = node.value
-    return None
-
-
-def _write_targets(node: ast.stmt) -> "Iterator[ast.expr]":
-    """Assignment targets of a statement (flattening tuple unpacking)."""
-    targets: "list[ast.expr]" = []
-    if isinstance(node, ast.Assign):
-        targets = list(node.targets)
-    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-        targets = [node.target]
-    for target in targets:
-        if isinstance(target, (ast.Tuple, ast.List)):
-            yield from target.elts
-        else:
-            yield target
-
-
-class _Write:
-    """One attribute write inside a method, with its lock context."""
-
-    def __init__(
-        self, attr: str, method: str, node: ast.stmt, locked: bool
-    ) -> None:
-        self.attr = attr
-        self.method = method
-        self.node = node
-        self.locked = locked
-
-
-def _collect_writes(
-    method: "ast.FunctionDef | ast.AsyncFunctionDef",
-) -> "list[_Write]":
-    """Every ``self.X``-rooted write in ``method`` with its lock depth."""
-    if not method.args.args:
-        return []
-    self_name = method.args.args[0].arg
-    writes: "list[_Write]" = []
-
-    def visit(node: ast.AST, locked: bool) -> None:
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            inside = locked or any(
-                _is_lockish(item.context_expr) for item in node.items
-            )
-            for child in node.body:
-                visit(child, inside)
-            return
-        if isinstance(
-            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
-        ):
-            return  # nested scope: its own receiver, its own discipline
-        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
-            for target in _write_targets(node):
-                attr = _self_attr_root(target, self_name)
-                if attr is not None:
-                    writes.append(_Write(attr, method.name, node, locked))
-        for child in ast.iter_child_nodes(node):
-            visit(child, locked)
-
-    for statement in method.body:
-        visit(statement, False)
-    return writes
+from repro.analysis.model import SelfAccess, scan_self_accesses
 
 
 @register_rule
@@ -140,10 +47,10 @@ class LockDisciplineRule(Rule):
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ClassDef):
                 continue
-            writes: "list[_Write]" = []
+            writes: "list[SelfAccess]" = []
             for item in node.body:
                 if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    writes.extend(_collect_writes(item))
+                    writes.extend(scan_self_accesses(item)[0])
             guarded = {w.attr for w in writes if w.locked}
             for write in writes:
                 if (

@@ -1,0 +1,40 @@
+"""Rule ``lock-order`` — the lock acquisition graph must stay acyclic.
+
+Two threads that take the same pair of locks in opposite orders can each
+end up holding the lock the other wants: a deadlock that no unit test
+reliably reproduces.  The project model records, for every function, the
+locks held at every acquisition and at every (CHA-resolved) call — so
+the whole-project acquisition graph is cheap to assemble
+(:func:`repro.analysis.lockgraph.build_lock_graph`) and a cycle in it is
+a structural proof of a *possible* deadlock, reported as an error.
+
+The graph itself exports as DOT/JSON from the CLI
+(``--lock-graph-dot`` / ``--lock-graph-json``); CI uploads both as a
+build artifact so every PR ships a picture of its locking structure.
+
+There is no meaningful inline suppression for a cycle (it spans files);
+break the cycle instead, by reordering acquisitions or narrowing the
+critical section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.framework import Finding, Project, Rule, register_rule
+from repro.analysis.lockgraph import build_lock_graph, cycle_findings
+from repro.analysis.model import build_model
+
+
+@register_rule
+class LockOrderRule(Rule):
+    rule_id = "lock-order"
+    severity = "error"
+    description = (
+        "no two locks may ever be acquired in opposite orders "
+        "(acquisition graph cycles are potential deadlocks)"
+    )
+
+    def check_project(self, project: Project) -> "Iterable[Finding]":
+        graph = build_lock_graph(build_model(project))
+        return cycle_findings(graph, self.rule_id)

@@ -347,6 +347,8 @@ def cmd_lint(args) -> int:
 
     argv = list(args.paths)
     argv += ["--format", args.format]
+    for extra in args.extra_paths or ():
+        argv += ["--paths", extra]
     if args.baseline:
         argv += ["--baseline", args.baseline]
     if args.write_baseline:
@@ -355,6 +357,10 @@ def cmd_lint(args) -> int:
         argv += ["--select", args.select]
     if args.list_rules:
         argv += ["--list-rules"]
+    if args.lock_graph_dot:
+        argv += ["--lock-graph-dot", args.lock_graph_dot]
+    if args.lock_graph_json:
+        argv += ["--lock-graph-json", args.lock_graph_json]
     return analysis_main(argv)
 
 
@@ -489,6 +495,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*",
                       help="files/directories to analyse (default: src/repro)")
+    lint.add_argument("--paths", action="append", dest="extra_paths",
+                      metavar="PATH",
+                      help="additional file/directory to analyse (repeatable)")
     lint.add_argument("--format", choices=["text", "json"], default="text")
     lint.add_argument("--baseline", metavar="PATH",
                       help="baseline file of accepted findings "
@@ -500,6 +509,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated rule ids to run (default: all)")
     lint.add_argument("--list-rules", dest="list_rules", action="store_true",
                       help="list registered rules and exit")
+    lint.add_argument("--lock-graph-dot", metavar="PATH",
+                      help="export the lock acquisition graph as DOT")
+    lint.add_argument("--lock-graph-json", metavar="PATH",
+                      help="export the lock acquisition graph as JSON")
     lint.set_defaults(func=cmd_lint)
 
     return parser

@@ -424,6 +424,7 @@ class PartitionedEngine(ResistanceEngine):
         # (created on demand), so distinct shards build in parallel while a
         # given shard is never built twice
         self._build_locks: "dict[int, threading.Lock]" = {}
+        self._system_locks: "dict[int, threading.Lock]" = {}
         self._locks_guard = threading.Lock()
         self._systems_lock = threading.Lock()
         self._rim_lock = threading.Lock()
@@ -529,7 +530,7 @@ class PartitionedEngine(ResistanceEngine):
     @property
     def shards_built(self) -> int:
         """How many region engines exist right now (grows lazily)."""
-        return sum(engine is not None for engine in self._engines)
+        return sum(engine is not None for engine in self._engines)  # repro: ignore[atomicity] — monitoring snapshot; list cells flip None→engine monotonically
 
     def shard_sizes(self) -> np.ndarray:
         """Node count of every region (rim nodes not counted)."""
@@ -538,19 +539,21 @@ class PartitionedEngine(ResistanceEngine):
     def _shard(
         self, shard: int, config: "EngineConfig | None" = None
     ) -> ResistanceEngine:
-        engine = self._engines[shard]
+        engine = self._engines[shard]  # repro: ignore[atomicity] — double-checked fast path; cells flip None→engine exactly once, under the shard's build lock
         if engine is not None:
             return engine
         with self._locks_guard:
             lock = self._build_locks.setdefault(shard, threading.Lock())
         with lock:
-            if self._engines[shard] is None:
+            engine = self._engines[shard]
+            if engine is None:
                 with self.timer.section("shard_build"):
                     sub = self._shard_graph(shard)
-                    self._engines[shard] = build_engine(
+                    engine = build_engine(  # repro: ignore[blocking-under-lock] — the per-shard build lock exists to serialise exactly this build; queries on built shards never take it
                         sub, self._shard_config if config is None else config
                     )
-        return self._engines[shard]
+                self._engines[shard] = engine
+        return engine
 
     def _build_shards(self, shards: "list[int]", workers: int) -> None:
         """Build the given shards, fanning out over ``workers`` threads.
@@ -601,7 +604,7 @@ class PartitionedEngine(ResistanceEngine):
         pending = [
             s
             for s in range(self.num_shards)
-            if self._shard_graph_size(s) > 1 and self._engines[s] is None
+            if self._shard_graph_size(s) > 1 and self._engines[s] is None  # repro: ignore[atomicity] — racy pending snapshot; per-shard build locks make double-builds impossible anyway
         ]
         if pending:
             self._build_shards(pending, effective)
@@ -611,14 +614,19 @@ class PartitionedEngine(ResistanceEngine):
     # the separator system
     # ------------------------------------------------------------------
     def _system(self, component: int) -> SeparatorSystem:
-        system = self._systems.get(component)
+        system = self._systems.get(component)  # repro: ignore[atomicity] — double-checked fast path; entries appear exactly once, under the component's build lock
         if system is not None:
             return system
-        with self._systems_lock:
-            if component not in self._systems:
+        with self._locks_guard:
+            lock = self._system_locks.setdefault(component, threading.Lock())
+        with lock:  # per-component: one slow assembly never blocks others
+            system = self._systems.get(component)
+            if system is None:
                 with self.timer.section("separator_system"):
-                    self._systems[component] = self._build_system(component)
-        return self._systems[component]
+                    system = self._build_system(component)  # repro: ignore[blocking-under-lock] — the per-component build lock exists to serialise exactly this Schur assembly
+                with self._systems_lock:
+                    self._systems[component] = system
+        return system
 
     def _build_system(self, component: int) -> SeparatorSystem:
         """Assemble ``S_c`` for one split component via per-region Schur.

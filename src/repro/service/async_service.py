@@ -213,10 +213,11 @@ class AsyncResistanceService:
             for _, future in active:
                 future.set_exception(exc)
             return
-        self.stats.requests += len(active)
-        self.stats.pairs += int(coalesced.shape[0])
-        self.stats.batches += 1
-        self.reports.append(report)
+        with self._cond:  # stats/reports are read from caller threads
+            self.stats.requests += len(active)
+            self.stats.pairs += int(coalesced.shape[0])
+            self.stats.batches += 1
+            self.reports.append(report)
         offset = 0
         for arr, future in active:
             count = arr.shape[0]
@@ -235,7 +236,8 @@ class AsyncResistanceService:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._cond:
+            return self._closed
 
     def __enter__(self) -> "AsyncResistanceService":
         return self
@@ -247,5 +249,5 @@ class AsyncResistanceService:
         return (
             f"AsyncResistanceService(window={self.batch_window}, "
             f"executor={self.service.executor.name}, "
-            f"batches={self.stats.batches})"
+            f"batches={self.stats.batches})"  # repro: ignore[atomicity] — cosmetic repr; a stale batch count is fine
         )

@@ -22,8 +22,12 @@ from __future__ import annotations
 import abc
 import concurrent.futures
 import threading
+from typing import Callable, Iterable, TypeVar
 
 from repro.utils.validation import require
+
+T = TypeVar("T")
+R = TypeVar("R")
 
 
 class Executor(abc.ABC):
@@ -35,7 +39,7 @@ class Executor(abc.ABC):
     name: str = "executor"
 
     @abc.abstractmethod
-    def map(self, fn, items) -> list:
+    def map(self, fn: "Callable[[T], R]", items: "Iterable[T]") -> "list[R]":
         """Run ``fn`` over ``items``; results in input order.
 
         Implementations must propagate the first exception raised by any
@@ -48,7 +52,7 @@ class Executor(abc.ABC):
     def __enter__(self) -> "Executor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
 
@@ -57,7 +61,7 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def map(self, fn, items) -> list:
+    def map(self, fn: "Callable[[T], R]", items: "Iterable[T]") -> "list[R]":
         return [fn(item) for item in items]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -80,7 +84,7 @@ class ThreadedExecutor(Executor):
 
     name = "threaded"
 
-    def __init__(self, workers: int = 4):
+    def __init__(self, workers: int = 4) -> None:
         require(workers >= 1, "workers must be >= 1")
         self.workers = int(workers)
         self._pool: "concurrent.futures.ThreadPoolExecutor | None" = None
@@ -95,19 +99,22 @@ class ThreadedExecutor(Executor):
                 )
             return self._pool
 
-    def map(self, fn, items) -> list:
-        items = list(items)
-        if len(items) <= 1:  # skip pool dispatch for trivial fan-outs
-            return [fn(item) for item in items]
-        futures = [self._ensure_pool().submit(fn, item) for item in items]
+    def map(self, fn: "Callable[[T], R]", items: "Iterable[T]") -> "list[R]":
+        batch = list(items)
+        if len(batch) <= 1:  # skip pool dispatch for trivial fan-outs
+            return [fn(item) for item in batch]
+        futures = [self._ensure_pool().submit(fn, item) for item in batch]
         concurrent.futures.wait(futures)
         return [future.result() for future in futures]
 
     def shutdown(self) -> None:
+        # Swap the pool out under the lock, drain it outside: a worker
+        # that re-entered ``map`` (and thus ``_ensure_pool``) must never
+        # find ``shutdown`` waiting on it while holding ``_pool_lock``.
         with self._pool_lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadedExecutor(workers={self.workers})"

@@ -257,7 +257,7 @@ class ResistanceService:
         self.last_report: "BatchReport | None" = None
         self._results = _LRU(result_cache_size)
         self._columns = _LRU(column_cache_size)
-        self._edge_resistances: "np.ndarray | None" = None  # repro: ignore[lock-discipline] — constructing
+        self._edge_resistances: "tuple[np.ndarray, np.ndarray] | None" = None  # repro: ignore[lock-discipline] — constructing
         self._lock = threading.Lock()          # stats + engine swap
         self._refresh_lock = threading.Lock()  # serialises rebuilds
         self._edge_lock = threading.Lock()     # all_edge_resistances memo
@@ -270,7 +270,9 @@ class ResistanceService:
     @property
     def method(self) -> str:
         """Name of the served engine (back-compat accessor)."""
-        return self.config.method
+        # a refresh may swap configs concurrently, but the method name is
+        # identical in every config this service ever holds
+        return self.config.method  # repro: ignore[atomicity] — method is refresh-invariant
 
     @classmethod
     def from_engine(
@@ -336,7 +338,9 @@ class ResistanceService:
     # ------------------------------------------------------------------
     def _build(self, graph: Graph) -> float:
         start = time.perf_counter()
-        engine = build_engine(graph, self.config)
+        with self._lock:  # snapshot: a refresh may be swapping configs
+            config = self.config
+        engine = build_engine(graph, config)
         with self._lock:  # engine + graph swap together, like a refresh
             self.engine = engine
             self.graph = graph
@@ -410,7 +414,7 @@ class ResistanceService:
                 else self.config.replace(build_workers=int(build_workers))
             )
             start = time.perf_counter()
-            new_engine = build_engine(graph, rebuild_config)
+            new_engine = build_engine(graph, rebuild_config)  # repro: ignore[blocking-under-lock] — _refresh_lock exists to serialise rebuilds; queries never take it
             rebuild = time.perf_counter() - start
             with self._lock:
                 self.config = rebuild_config
@@ -590,14 +594,25 @@ class ResistanceService:
     # ------------------------------------------------------------------
     # centrality
     # ------------------------------------------------------------------
-    def all_edge_resistances(self) -> np.ndarray:
-        """Effective resistance of every edge (cached after the first call)."""
+    def _edge_table(self) -> "tuple[np.ndarray, np.ndarray]":
+        """``(edge weights, edge resistances)`` of one engine snapshot.
+
+        Memoised under ``_edge_lock`` until the next refresh invalidates
+        it.  Weights and resistances come from the *same* engine/graph
+        pair (snapshotted together under ``_lock``), so centrality never
+        multiplies new weights into old resistances across a refresh.
+        """
         with self._edge_lock:
             if self._edge_resistances is None:
-                self._edge_resistances = self.engine.query_pairs(
-                    self.graph.edge_array()
-                )
+                with self._lock:  # graph and engine swap together
+                    engine, graph = self.engine, self.graph
+                values = engine.query_pairs(graph.edge_array())  # repro: ignore[blocking-under-lock] — _edge_lock exists to serialise this one-off table fill; queries never take it
+                self._edge_resistances = (graph.weights, values)
             return self._edge_resistances
+
+    def all_edge_resistances(self) -> np.ndarray:
+        """Effective resistance of every edge (cached after the first call)."""
+        return self._edge_table()[1]
 
     def top_k_central_edges(self, k: int) -> "tuple[np.ndarray, np.ndarray]":
         """The ``k`` edges with the highest spanning-edge centrality.
@@ -607,7 +622,8 @@ class ResistanceService:
         uniformly random spanning tree (ties broken by edge index).
         """
         require(k >= 1, "k must be >= 1")
-        centrality = self.graph.weights * self.all_edge_resistances()
+        weights, resistances = self._edge_table()
+        centrality = weights * resistances
         k = min(k, centrality.shape[0])
         if k == 0:
             return np.empty(0, dtype=np.int64), np.empty(0)

@@ -52,18 +52,22 @@ class Timer:
     @property
     def total(self) -> float:
         """Sum of all recorded sections in seconds."""
-        return sum(self.times.values())
+        with self._lock:
+            return sum(self.times.values())
 
     def __getitem__(self, name: str) -> float:
-        return self.times[name]
+        with self._lock:
+            return self.times[name]
 
     def report(self) -> str:
         """Render timings as aligned ``name: seconds`` lines."""
-        if not self.times:
+        with self._lock:  # one consistent snapshot; total matches the rows
+            times = dict(self.times)
+        if not times:
             return "(no timings recorded)"
-        width = max(len(k) for k in self.times)
-        lines = [f"{k.ljust(width)} : {v:10.4f} s" for k, v in self.times.items()]
-        lines.append(f"{'total'.ljust(width)} : {self.total:10.4f} s")
+        width = max(len(k) for k in times)
+        lines = [f"{k.ljust(width)} : {v:10.4f} s" for k, v in times.items()]
+        lines.append(f"{'total'.ljust(width)} : {sum(times.values()):10.4f} s")
         return "\n".join(lines)
 
 

@@ -173,11 +173,75 @@ class TestApp:
     def test_missing_path_exits_two(self, tmp_path, capsys):
         assert main([str(tmp_path / "absent")]) == 2
 
-    def test_list_rules_names_all_six(self, capsys):
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n", encoding="utf-8")
+        absent = tmp_path / "absent-baseline.json"
+        assert main([str(tmp_path), "--baseline", str(absent)]) == 2
+        err = capsys.readouterr().err
+        assert "baseline file not found" in err
+        assert "--write-baseline" in err  # the actionable part
+
+    def test_missing_baseline_ok_when_writing_it(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(VIOLATION, encoding="utf-8")
+        base = tmp_path / "new-baseline.json"
+        assert main([str(tmp_path), "--baseline", str(base), "--write-baseline"]) == 0
+        assert base.exists()
+
+    def test_default_baseline_may_be_absent(self, tmp_path, capsys):
+        # only an *explicit* --baseline must exist; the implicit default
+        # (analysis-baseline.json) is simply skipped when missing
+        (tmp_path / "mod.py").write_text("x = 1\n", encoding="utf-8")
+        assert main([str(tmp_path)]) == 0
+
+    def test_paths_option_extends_positional(self, tmp_path, capsys):
+        clean = tmp_path / "clean"
+        dirty = tmp_path / "dirty"
+        clean.mkdir()
+        dirty.mkdir()
+        (clean / "a.py").write_text("x = 1\n", encoding="utf-8")
+        (dirty / "b.py").write_text(VIOLATION, encoding="utf-8")
+        assert main([str(clean)]) == 0
+        assert main([str(clean), "--paths", str(dirty)]) == 1
+        assert main(["--paths", str(clean), "--paths", str(dirty)]) == 1
+
+    def test_lock_graph_export(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(
+            "import threading\n\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._aux_lock = threading.Lock()\n"
+            "        self.value = 0\n\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            with self._aux_lock:\n"
+            "                self.value += 1\n",
+            encoding="utf-8",
+        )
+        dot = tmp_path / "locks.dot"
+        as_json = tmp_path / "locks.json"
+        assert main(
+            [
+                str(tmp_path),
+                "--lock-graph-dot", str(dot),
+                "--lock-graph-json", str(as_json),
+            ]
+        ) == 0
+        assert "mod.Box._lock" in dot.read_text(encoding="utf-8")
+        payload = json.loads(as_json.read_text(encoding="utf-8"))
+        assert payload["cycles"] == []
+        assert [e["src"] for e in payload["edges"]] == ["mod.Box._lock"]
+        assert [e["dst"] for e in payload["edges"]] == ["mod.Box._aux_lock"]
+
+    def test_list_rules_names_all_ten(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in (
             "lock-discipline",
+            "lock-order",
+            "atomicity",
+            "blocking-under-lock",
+            "executor-escape",
             "registry-purity",
             "config-persistence-drift",
             "determinism",

@@ -1,4 +1,4 @@
-"""Fixture tests for the six ``repro.analysis`` rules.
+"""Fixture tests for the ``repro.analysis`` rules.
 
 Each rule gets (at least) a seeded violation that must fire, the fixed
 form that must stay quiet, and a suppressed variant.  Fixtures are tiny
@@ -642,6 +642,518 @@ class TestMutableDefaults:
         )
         assert report.findings == ()
         assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# atomicity
+# ----------------------------------------------------------------------
+class TestAtomicity:
+    def test_unlocked_read_of_guarded_attr_fires(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": LOCKED_COUNTER
+                % """
+        def peek(self):
+            return self.total
+    """
+            },
+            select=["atomicity"],
+        )
+        (hit,) = rule_hits(report, "atomicity")
+        assert "self.total" in hit.message
+        assert "'peek'" in hit.message
+        assert "reads it without" in hit.message
+
+    def test_locked_read_is_quiet(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": LOCKED_COUNTER
+                % """
+        def peek(self):
+            with self._lock:
+                return self.total
+    """
+            },
+            select=["atomicity"],
+        )
+        assert report.findings == ()
+
+    def test_init_reads_are_exempt(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.total = 0
+            self.double = self.total * 2
+
+        def bump(self):
+            with self._lock:
+                self.total += 1
+    """
+            },
+            select=["atomicity"],
+        )
+        assert report.findings == ()
+
+    def test_never_locked_attr_is_quiet(self, tmp_path):
+        # reads of attributes nobody ever writes under a lock are fine
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": LOCKED_COUNTER
+                % """
+        def name(self):
+            return self.label
+    """
+            },
+            select=["atomicity"],
+        )
+        assert report.findings == ()
+
+    def test_suppression_comment_silences(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": LOCKED_COUNTER
+                % """
+        def peek(self):
+            return self.total  # repro: ignore[atomicity] -- monitoring snapshot
+    """
+            },
+            select=["atomicity"],
+        )
+        assert report.findings == ()
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "atomicity"
+
+
+# ----------------------------------------------------------------------
+# blocking-under-lock
+# ----------------------------------------------------------------------
+class TestBlockingUnderLock:
+    def test_future_result_under_lock_fires(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    import threading
+
+    class Service:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def drain(self, future):
+            with self._lock:
+                return future.result()
+    """
+            },
+            select=["blocking-under-lock"],
+        )
+        (hit,) = rule_hits(report, "blocking-under-lock")
+        assert "waits on a Future" in hit.message
+        assert "'svc.Service._lock'" in hit.message
+
+    def test_build_engine_under_lock_fires(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    import threading
+    from engine import build_engine
+
+    class Service:
+        def __init__(self, graph):
+            self._lock = threading.Lock()
+            self.graph = graph
+
+        def refresh(self):
+            with self._lock:
+                self.engine = build_engine(self.graph)
+    """
+            },
+            select=["blocking-under-lock"],
+        )
+        hits = rule_hits(report, "blocking-under-lock")
+        assert any("engine factorisation 'build_engine()'" in h.message for h in hits)
+
+    def test_blocking_reached_through_call_graph_fires(self, tmp_path):
+        # the lock-holding frame never blocks itself; a callee does
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    import threading
+    from engine import build_engine
+
+    class Service:
+        def __init__(self, graph):
+            self._lock = threading.Lock()
+            self.graph = graph
+
+        def _rebuild(self):
+            return build_engine(self.graph)
+
+        def refresh(self):
+            with self._lock:
+                self.engine = self._rebuild()
+    """
+            },
+            select=["blocking-under-lock"],
+        )
+        hits = rule_hits(report, "blocking-under-lock")
+        assert any("(via 'svc.Service._rebuild')" in h.message for h in hits)
+
+    def test_build_outside_lock_is_quiet(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    import threading
+    from engine import build_engine
+
+    class Service:
+        def __init__(self, graph):
+            self._lock = threading.Lock()
+            self.graph = graph
+
+        def refresh(self):
+            engine = build_engine(self.graph)
+            with self._lock:
+                self.engine = engine
+    """
+            },
+            select=["blocking-under-lock"],
+        )
+        assert report.findings == ()
+
+    def test_condition_wait_is_exempt(self, tmp_path):
+        # Condition.wait releases the lock it runs under
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    import threading
+
+    class Queue:
+        def __init__(self):
+            self._cond = threading.Condition()
+            self._items = []
+
+        def take(self):
+            with self._cond:
+                while not self._items:
+                    self._cond.wait()
+                return self._items.pop()
+    """
+            },
+            select=["blocking-under-lock"],
+        )
+        assert report.findings == ()
+
+    def test_suppression_comment_silences(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    import threading
+    from engine import build_engine
+
+    class Service:
+        def __init__(self, graph):
+            self._build_lock = threading.Lock()
+            self.graph = graph
+
+        def refresh(self):
+            with self._build_lock:
+                self.engine = build_engine(self.graph)  # repro: ignore[blocking-under-lock] -- _build_lock exists to serialise builds
+    """
+            },
+            select=["blocking-under-lock"],
+        )
+        assert report.findings == ()
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# executor-escape
+# ----------------------------------------------------------------------
+class TestExecutorEscape:
+    def test_nested_def_payload_mutating_self_fires(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    class Service:
+        def __init__(self, pool):
+            self._pool = pool
+            self.results = []
+
+        def fan_out(self, items):
+            def work(item):
+                self.results.append(item)
+            for item in items:
+                self._pool.submit(work, item)
+    """
+            },
+            select=["executor-escape"],
+        )
+        (hit,) = rule_hits(report, "executor-escape")
+        assert "'work'" in hit.message
+        assert "self.results" in hit.message
+        assert "escapes the executor boundary" in hit.message
+
+    def test_lambda_mutating_closure_fires(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    def fan_out(pool, items):
+        results = []
+        for item in items:
+            pool.submit(lambda: results.append(item))
+        return results
+    """
+            },
+            select=["executor-escape"],
+        )
+        (hit,) = rule_hits(report, "executor-escape")
+        assert "closed-over 'results'" in hit.message
+
+    def test_locked_mutation_is_quiet(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    import threading
+
+    class Service:
+        def __init__(self, pool):
+            self._pool = pool
+            self._lock = threading.Lock()
+            self.results = []
+
+        def fan_out(self, items):
+            def work(item):
+                with self._lock:
+                    self.results.append(item)
+            for item in items:
+                self._pool.submit(work, item)
+    """
+            },
+            select=["executor-escape"],
+        )
+        assert report.findings == ()
+
+    def test_pure_payload_is_quiet(self, tmp_path):
+        # the repo's own idiom: workers return, the submitter commits
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    class Service:
+        def __init__(self, pool):
+            self._pool = pool
+            self.results = {}
+
+        def fan_out(self, items):
+            def work(item):
+                return item * 2
+            futures = [self._pool.submit(work, item) for item in items]
+            for item, future in zip(items, futures):
+                self.results[item] = future.result()
+    """
+            },
+            select=["executor-escape"],
+        )
+        assert report.findings == ()
+
+    def test_self_method_payload_expands_transitively(self, tmp_path):
+        # self.method handed to the pool; the mutation hides one call deeper
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    class Service:
+        def __init__(self, pool):
+            self._pool = pool
+            self.done = []
+
+        def _record(self, item):
+            self.done.append(item)
+
+        def _work(self, item):
+            self._record(item)
+
+        def fan_out(self, items):
+            for item in items:
+                self._pool.submit(self._work, item)
+    """
+            },
+            select=["executor-escape"],
+        )
+        (hit,) = rule_hits(report, "executor-escape")
+        assert "'self._work'" in hit.message
+        assert "self.done" in hit.message
+
+    def test_thread_target_counts_as_submission(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    import threading
+
+    class Service:
+        def __init__(self):
+            self.log = []
+
+        def start(self):
+            def loop():
+                self.log.append("tick")
+            threading.Thread(target=loop, daemon=True).start()
+    """
+            },
+            select=["executor-escape"],
+        )
+        (hit,) = rule_hits(report, "executor-escape")
+        assert "Thread(target=...)" in hit.message
+
+    def test_suppression_comment_silences(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    class Service:
+        def __init__(self, pool):
+            self._pool = pool
+            self.results = [None] * 8
+
+        def fan_out(self, items):
+            def work(i, item):
+                self.results[i] = item  # repro: ignore[executor-escape] -- disjoint slots per worker
+            for i, item in enumerate(items):
+                self._pool.submit(work, i, item)
+    """
+            },
+            select=["executor-escape"],
+        )
+        assert report.findings == ()
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# lock-order
+# ----------------------------------------------------------------------
+class TestLockOrder:
+    def test_opposite_nesting_orders_fire(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    import threading
+
+    class Pair:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def ab(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def ba(self):
+            with self._b:
+                with self._a:
+                    pass
+    """
+            },
+            select=["lock-order"],
+        )
+        (hit,) = rule_hits(report, "lock-order")
+        assert "lock acquisition cycle (potential deadlock)" in hit.message
+        assert "svc.Pair._a" in hit.message
+        assert "svc.Pair._b" in hit.message
+
+    def test_consistent_order_is_quiet(self, tmp_path):
+        report = analyse(
+            tmp_path,
+            {
+                "svc.py": """
+    import threading
+
+    class Pair:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def ab(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def also_ab(self):
+            with self._a:
+                with self._b:
+                    pass
+    """
+            },
+            select=["lock-order"],
+        )
+        assert report.findings == ()
+
+    def test_cross_class_cycle_through_calls_fires(self, tmp_path):
+        # neither class nests two with-blocks; the cycle only exists
+        # because each calls into the other while holding its own lock
+        report = analyse(
+            tmp_path,
+            {
+                "duo.py": """
+    import threading
+
+    class Left:
+        def __init__(self, right):
+            self._left_lock = threading.Lock()
+            self.right: "Right" = right
+
+        def forward(self):
+            with self._left_lock:
+                self.right.poke()
+
+        def poke(self):
+            with self._left_lock:
+                pass
+
+    class Right:
+        def __init__(self, left):
+            self._right_lock = threading.Lock()
+            self.left: "Left" = left
+
+        def backward(self):
+            with self._right_lock:
+                self.left.poke()
+
+        def poke(self):
+            with self._right_lock:
+                pass
+    """
+            },
+            select=["lock-order"],
+        )
+        (hit,) = rule_hits(report, "lock-order")
+        assert "duo.Left._left_lock" in hit.message
+        assert "duo.Right._right_lock" in hit.message
+
+    def test_real_tree_is_acyclic(self):
+        src = Path(__file__).resolve().parents[1] / "src" / "repro"
+        report = run_analysis([src], select=["lock-order"])
+        assert report.findings == ()
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 STRICT_TARGETS = [
     "src/repro/analysis",
     "src/repro/core/engine.py",
+    "src/repro/service/executor.py",
 ]
 
 
