@@ -7,19 +7,22 @@ through ``persistence.py:save_engine`` and
 quietly rebuilt with the default worker count.  Nothing crashed — the
 field just evaporated across a save/load cycle.
 
-The rule cross-checks three structures, wherever they live in the project:
+The rule cross-checks three structures, wherever they live in the project,
+for *every* persisted engine kind (``cholinv``, ``landmark``, …):
 
 * the ``EngineConfig`` dataclass — the set of declared field names;
-* the ``register_engine("cholinv", params=(...))`` registration — the
-  subset of fields the persisted (Alg. 3) engine actually consumes;
-* ``save_engine`` — the keywords of the ``EngineConfig(...)`` call it
-  builds the on-disk config from — and ``from_state`` — the
-  ``config.<field>`` attributes it reads back.
+* each ``register_engine("<method>", params=(...))`` registration — the
+  subset of fields that engine actually consumes;
+* the save path — every ``EngineConfig(method="<method>", ...)`` call
+  inside ``save_engine`` declares which engine it persists through its
+  ``method=`` keyword, and must write every param that engine consumes —
+  and the restore path — the ``from_state`` classmethod of a class
+  registered under a persisted method must read every such param back as
+  ``config.<field>``.
 
-Every cholinv param must be written by ``save_engine`` and read by
-``from_state``; any keyword ``save_engine`` passes that is not a declared
-field (a typo that ``from_dict`` would silently drop) is flagged too.
-The executable twin of this rule is the save/load field-equality test in
+Any keyword ``save_engine`` passes that is not a declared field (a typo
+that ``from_dict`` would silently drop) is flagged too.  The executable
+twin of this rule is the save/load field-equality test in
 ``tests/test_persistence_drift.py``.
 """
 
@@ -31,7 +34,6 @@ from typing import Iterable
 from repro.analysis.framework import Finding, ModuleInfo, Project, Rule, register_rule
 
 _CONFIG_CLASS = "EngineConfig"
-_PERSISTED_METHOD = "cholinv"
 _SAVE_FUNC = "save_engine"
 _RESTORE_FUNC = "from_state"
 _REGISTRAR = "register_engine"
@@ -59,9 +61,9 @@ def _config_fields(project: Project) -> "set[str]":
     return fields
 
 
-def _persisted_params(project: Project) -> "set[str]":
-    """Params declared by ``register_engine("cholinv", params=(...))``."""
-    params: "set[str]" = set()
+def _registered_params(project: Project) -> "dict[str, set[str]]":
+    """``method -> params`` from every ``register_engine(...)`` call."""
+    registry: "dict[str, set[str]]" = {}
     for module in project:
         for node in ast.walk(module.tree):
             if not (
@@ -69,9 +71,10 @@ def _persisted_params(project: Project) -> "set[str]":
                 and _terminal_name(node.func) == _REGISTRAR
                 and node.args
                 and isinstance(node.args[0], ast.Constant)
-                and node.args[0].value == _PERSISTED_METHOD
+                and isinstance(node.args[0].value, str)
             ):
                 continue
+            params = registry.setdefault(node.args[0].value, set())
             for keyword in node.keywords:
                 if keyword.arg == "params" and isinstance(
                     keyword.value, (ast.Tuple, ast.List)
@@ -81,7 +84,33 @@ def _persisted_params(project: Project) -> "set[str]":
                             element.value, str
                         ):
                             params.add(element.value)
-    return params
+    return registry
+
+
+def _call_method(call: ast.Call) -> "str | None":
+    """The constant ``method=`` keyword of an ``EngineConfig(...)`` call."""
+    for keyword in call.keywords:
+        if (
+            keyword.arg == "method"
+            and isinstance(keyword.value, ast.Constant)
+            and isinstance(keyword.value.value, str)
+        ):
+            return keyword.value.value
+    return None
+
+
+def _registered_method(class_node: ast.ClassDef) -> "str | None":
+    """The method a class registers via its ``register_engine`` decorator."""
+    for decorator in class_node.decorator_list:
+        if (
+            isinstance(decorator, ast.Call)
+            and _terminal_name(decorator.func) == _REGISTRAR
+            and decorator.args
+            and isinstance(decorator.args[0], ast.Constant)
+            and isinstance(decorator.args[0].value, str)
+        ):
+            return decorator.args[0].value
+    return None
 
 
 @register_rule
@@ -89,91 +118,134 @@ class ConfigPersistenceDriftRule(Rule):
     rule_id = "config-persistence-drift"
     severity = "error"
     description = (
-        "every EngineConfig field the persisted engine consumes must be "
-        "written by save_engine and read back by from_state"
+        "every EngineConfig field a persisted engine consumes must be "
+        "written by save_engine and read back by its from_state"
     )
 
     def check_project(self, project: Project) -> "Iterable[Finding]":
         fields = _config_fields(project)
-        params = _persisted_params(project)
-        if not fields or not params:
+        registry = _registered_params(project)
+        if not fields or not registry:
             return ()  # nothing persistable in this tree
-        required = sorted(params - {"method"})
+        # the save path is the source of truth for what gets persisted:
+        # every EngineConfig(method="<m>", ...) built inside save_engine
+        persisted = self._persisted_methods(project)
         findings: "list[Finding]" = []
         for module in project:
-            findings.extend(self._check_save(module, required, fields))
-            findings.extend(self._check_restore(module, required))
+            findings.extend(
+                self._check_save(module, registry, fields)
+            )
+            findings.extend(
+                self._check_restore(module, registry, persisted)
+            )
         return findings
 
-    def _check_save(
-        self, module: ModuleInfo, required: "list[str]", fields: "set[str]"
-    ) -> "Iterable[Finding]":
+    def _save_config_calls(
+        self, module: ModuleInfo
+    ) -> "Iterable[ast.Call]":
         for node in ast.walk(module.tree):
             if not (
                 isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
                 and node.name == _SAVE_FUNC
             ):
                 continue
-            calls = [
-                call
-                for call in ast.walk(node)
-                if isinstance(call, ast.Call)
-                and _terminal_name(call.func) == _CONFIG_CLASS
-            ]
-            for call in calls:
-                if any(keyword.arg is None for keyword in call.keywords):
-                    continue  # **kwargs: opaque to static analysis
-                written = {
-                    keyword.arg for keyword in call.keywords
-                    if keyword.arg is not None
-                }
-                for param in required:
-                    if param not in written:
-                        yield self.finding(
-                            module,
-                            call,
-                            f"EngineConfig field '{param}' is consumed by "
-                            f"the '{_PERSISTED_METHOD}' engine but not "
-                            f"written by {_SAVE_FUNC}(); saved engines "
-                            f"would silently lose it",
-                        )
-                for name in sorted(written - fields - {"method"}):
+            for call in ast.walk(node):
+                if (
+                    isinstance(call, ast.Call)
+                    and _terminal_name(call.func) == _CONFIG_CLASS
+                ):
+                    yield call
+
+    def _persisted_methods(self, project: Project) -> "set[str]":
+        methods: "set[str]" = set()
+        for module in project:
+            for call in self._save_config_calls(module):
+                method = _call_method(call)
+                if method is not None:
+                    methods.add(method)
+        return methods
+
+    def _check_save(
+        self,
+        module: ModuleInfo,
+        registry: "dict[str, set[str]]",
+        fields: "set[str]",
+    ) -> "Iterable[Finding]":
+        for call in self._save_config_calls(module):
+            if any(keyword.arg is None for keyword in call.keywords):
+                continue  # **kwargs: opaque to static analysis
+            method = _call_method(call)
+            written = {
+                keyword.arg for keyword in call.keywords
+                if keyword.arg is not None
+            }
+            if method is None:
+                yield self.finding(
+                    module,
+                    call,
+                    f"EngineConfig built inside {_SAVE_FUNC}() without a "
+                    f"constant method= keyword; the drift check cannot "
+                    f"tell which engine's params it must persist",
+                )
+                continue
+            required = sorted(registry.get(method, set()) - {"method"})
+            for param in required:
+                if param not in written:
                     yield self.finding(
                         module,
                         call,
-                        f"{_SAVE_FUNC}() passes keyword '{name}' which is "
-                        f"not an EngineConfig field (typo? from_dict would "
-                        f"silently drop it)",
+                        f"EngineConfig field '{param}' is consumed by "
+                        f"the '{method}' engine but not "
+                        f"written by {_SAVE_FUNC}(); saved engines "
+                        f"would silently lose it",
                     )
+            for name in sorted(written - fields - {"method"}):
+                yield self.finding(
+                    module,
+                    call,
+                    f"{_SAVE_FUNC}() passes keyword '{name}' which is "
+                    f"not an EngineConfig field (typo? from_dict would "
+                    f"silently drop it)",
+                )
 
     def _check_restore(
-        self, module: ModuleInfo, required: "list[str]"
+        self,
+        module: ModuleInfo,
+        registry: "dict[str, set[str]]",
+        persisted: "set[str]",
     ) -> "Iterable[Finding]":
-        for node in ast.walk(module.tree):
-            if not (
-                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-                and node.name == _RESTORE_FUNC
-            ):
+        for class_node in ast.walk(module.tree):
+            if not isinstance(class_node, ast.ClassDef):
                 continue
-            arg_names = {arg.arg for arg in node.args.args} | {
-                arg.arg for arg in node.args.kwonlyargs
-            }
-            if "config" not in arg_names:
+            method = _registered_method(class_node)
+            if method is None or method not in persisted:
                 continue
-            reads = {
-                sub.attr
-                for sub in ast.walk(node)
-                if isinstance(sub, ast.Attribute)
-                and isinstance(sub.value, ast.Name)
-                and sub.value.id == "config"
-            }
-            for param in required:
-                if param not in reads:
-                    yield self.finding(
-                        module,
-                        node,
-                        f"EngineConfig field '{param}' is consumed by the "
-                        f"'{_PERSISTED_METHOD}' engine but never read back "
-                        f"by {_RESTORE_FUNC}(); restored engines would "
-                        f"silently rebuild with the default",
-                    )
+            required = sorted(registry.get(method, set()) - {"method"})
+            for node in class_node.body:
+                if not (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name == _RESTORE_FUNC
+                ):
+                    continue
+                arg_names = {arg.arg for arg in node.args.args} | {
+                    arg.arg for arg in node.args.kwonlyargs
+                }
+                if "config" not in arg_names:
+                    continue
+                reads = {
+                    sub.attr
+                    for sub in ast.walk(node)
+                    if isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "config"
+                }
+                for param in required:
+                    if param not in reads:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"EngineConfig field '{param}' is consumed by "
+                            f"the '{method}' engine but never read back "
+                            f"by {_RESTORE_FUNC}(); restored engines would "
+                            f"silently rebuild with the default",
+                        )

@@ -66,7 +66,38 @@ def _engine_config(args):
         shard_strategy=args.shard_strategy,
         max_shard_nodes=args.max_shard_nodes,
         separator=args.separator,
+        num_landmarks=args.num_landmarks,
+        landmark_strategy=args.landmark_strategy,
+        num_walks=args.num_walks,
+        walk_length=args.walk_length,
+        num_trees=args.num_trees,
     )
+
+
+def _parse_tiers(args) -> "tuple[str, ...]":
+    """The SLA tier ladder from --engine-tiers (default: landmark only)."""
+    return tuple(
+        name.strip()
+        for name in (args.engine_tiers or "landmark").split(",")
+        if name.strip()
+    )
+
+
+def _sla_requested(args) -> bool:
+    return (
+        args.rel_tol is not None
+        or args.latency_budget is not None
+        or args.engine_tiers is not None
+    )
+
+
+def _print_tier_summary(report) -> None:
+    if report is None or not report.tier_rows:
+        return
+    split = ", ".join(
+        f"{tier}={rows}" for tier, rows in report.tier_rows.items()
+    )
+    print(f"tier split (distinct pairs): {split}", file=sys.stderr)
 
 
 def _reject_graph_source_with_load(args) -> None:
@@ -149,7 +180,17 @@ def cmd_er(args) -> int:
         )
     else:
         pairs = graph.edge_array()
-    values = engine.query_pairs(pairs)
+    if _sla_requested(args):
+        from repro.service import ResistanceService
+
+        service = ResistanceService.from_engine(engine)
+        service.enable_tiers(tiers=_parse_tiers(args))
+        values, report = service.query_pairs_with_report(
+            pairs, rel_tol=args.rel_tol, latency_budget=args.latency_budget
+        )
+        _print_tier_summary(report)
+    else:
+        values = engine.query_pairs(pairs)
     out = sys.stdout if args.output == "-" else open(args.output, "w")
     try:
         out.write("p,q,r_eff\n")
@@ -191,6 +232,26 @@ def cmd_service(args) -> int:
         if args.save_engine:
             _save_engine(service.engine, args.save_engine)
 
+        if _sla_requested(args):
+            from repro.service import CalibrationProfile
+
+            # reuse a calibration sidecar saved next to a loaded engine;
+            # otherwise calibrate now (and persist next to --save-engine)
+            profile = None
+            if args.load_engine:
+                sidecar = CalibrationProfile.default_path(args.load_engine)
+                if sidecar.exists():
+                    profile = CalibrationProfile.load(sidecar)
+                    print(f"calibration loaded from {sidecar}", file=sys.stderr)
+            profile = service.enable_tiers(
+                tiers=_parse_tiers(args), profile=profile
+            )
+            if args.save_engine:
+                saved = profile.save(
+                    CalibrationProfile.default_path(args.save_engine)
+                )
+                print(f"calibration saved to {saved}", file=sys.stderr)
+
         if args.pairs:
             pairs = np.asarray(
                 [tuple(int(x) for x in pair.split(",")) for pair in args.pairs]
@@ -203,16 +264,26 @@ def cmd_service(args) -> int:
                 with AsyncResistanceService(
                     service, batch_window=args.batch_window
                 ) as front:
-                    futures = [front.submit(pairs) for _ in range(repeat)]
+                    futures = [
+                        front.submit(
+                            pairs, rel_tol=args.rel_tol,
+                            latency_budget=args.latency_budget,
+                        )
+                        for _ in range(repeat)
+                    ]
                     values = futures[-1].result()
                     for future in futures:
                         future.result()
                     coalesced = front.stats.batches
             else:
                 for _ in range(repeat):
-                    values = service.query_pairs(pairs)
+                    values = service.query_pairs(
+                        pairs, rel_tol=args.rel_tol,
+                        latency_budget=args.latency_budget,
+                    )
                 coalesced = None
             elapsed = time.perf_counter() - t0
+            _print_tier_summary(service.last_report)
             print("p,q,r_eff")
             for (p, q), r in zip(pairs, values):
                 print(f"{int(p)},{int(q)},{r:.10g}")
@@ -410,6 +481,36 @@ def _add_graph_engine_arguments(parser) -> None:
     parser.add_argument("--load-engine", dest="load_engine", metavar="PATH",
                         help="warm-start from a saved engine instead of building "
                              "(graph and engine options come from the file)")
+    parser.add_argument("--num-landmarks", dest="num_landmarks", type=int,
+                        default=32, metavar="K",
+                        help="landmark count for the landmark estimator tier")
+    parser.add_argument("--landmark-strategy", dest="landmark_strategy",
+                        default="degree", choices=["degree", "random", "spread"],
+                        help="how the landmark tier picks its landmarks")
+    parser.add_argument("--num-walks", dest="num_walks", type=int, default=512,
+                        help="walks per pair for the local_walk estimator")
+    parser.add_argument("--walk-length", dest="walk_length", type=int,
+                        default=32,
+                        help="truncation length for the local_walk estimator")
+    parser.add_argument("--num-trees", dest="num_trees", type=int, default=200,
+                        help="Wilson samples for the spanning_tree estimator")
+    parser.add_argument("--rel-tol", dest="rel_tol", type=float, default=None,
+                        metavar="TOL",
+                        help="serve with an SLA: accept answers from cheaper "
+                             "calibrated tiers while the relative error stays "
+                             "within TOL (pairs the tiers cannot certify "
+                             "escalate to the exact engine)")
+    parser.add_argument("--latency-budget", dest="latency_budget", type=float,
+                        default=None, metavar="SECONDS",
+                        help="SLA latency target for the whole batch; tiers "
+                             "too slow to fit are skipped, and an exact "
+                             "request that cannot fit downgrades to the most "
+                             "accurate tier that does")
+    parser.add_argument("--engine-tiers", dest="engine_tiers", metavar="T1,T2",
+                        default=None,
+                        help="comma-separated approximate tier ladder for "
+                             "SLA routing, cheapest first "
+                             "(default: landmark)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -153,6 +153,24 @@ class EngineConfig:
         eager component builds (and :meth:`ShardedEngine.warm_up`) fan
         out over this many threads.  Every worker count produces
         bit-identical engines — the knob trades build wall-clock only.
+    num_landmarks, landmark_strategy:
+        Tiered-estimator knobs of the ``"landmark"`` engine
+        (:class:`~repro.estimators.landmark.LandmarkEffectiveResistance`):
+        how many landmark nodes to index and how to pick them
+        (``"degree"`` — top weighted degree, default; ``"spread"`` — BFS
+        farthest-point; ``"random"`` — seeded uniform sample).
+    num_walks, walk_length:
+        Tiered-estimator knobs of the ``"local_walk"`` engine: Monte-Carlo
+        walks per endpoint and the (lazy) walk truncation length.
+    num_trees:
+        Wilson samples of the ``"spanning_tree"`` coarse tier.
+    tiers:
+        Escalation ladder of the ``"adaptive"`` engine, cheapest first
+        (default ``None`` = ``("landmark", "cholinv")``).  Lists normalise
+        to tuples so configs stay hashable and JSON round-trips exactly.
+    tier_rel_tol:
+        Relative error tolerance the ``"adaptive"`` engine enforces before
+        escalating a pair to the next tier.
     """
 
     method: str = "cholinv"
@@ -174,12 +192,52 @@ class EngineConfig:
     separator: str = "bisection"
     lazy_shards: bool = False
     build_workers: int = 1
+    num_landmarks: int = 32
+    landmark_strategy: str = "degree"
+    num_walks: int = 512
+    walk_length: int = 32
+    num_trees: int = 200
+    tiers: "tuple[str, ...] | None" = None
+    tier_rel_tol: float = 0.05
 
     def __post_init__(self) -> None:
         require(
             self.build_workers >= 1,
             f"build_workers must be >= 1, got {self.build_workers}",
         )
+        require(
+            self.num_landmarks >= 1,
+            f"num_landmarks must be >= 1, got {self.num_landmarks}",
+        )
+        require(
+            self.landmark_strategy in ("degree", "spread", "random"),
+            f"landmark_strategy must be 'degree', 'spread' or 'random', "
+            f"got {self.landmark_strategy!r}",
+        )
+        require(
+            self.num_walks >= 1, f"num_walks must be >= 1, got {self.num_walks}"
+        )
+        require(
+            self.walk_length >= 1,
+            f"walk_length must be >= 1, got {self.walk_length}",
+        )
+        require(
+            self.num_trees >= 1, f"num_trees must be >= 1, got {self.num_trees}"
+        )
+        require(
+            self.tier_rel_tol > 0.0,
+            f"tier_rel_tol must be > 0, got {self.tier_rel_tol}",
+        )
+        if self.tiers is not None:
+            # JSON persistence round-trips tuples through lists; normalise
+            # back so configs stay hashable and compare equal after reload
+            tiers = tuple(self.tiers)
+            require(
+                len(tiers) >= 1 and all(isinstance(t, str) for t in tiers),
+                f"tiers must be a non-empty sequence of engine names, "
+                f"got {self.tiers!r}",
+            )
+            object.__setattr__(self, "tiers", tiers)
         require(
             self.shard_strategy in ("component", "separator"),
             f"shard_strategy must be 'component' or 'separator', "
@@ -310,7 +368,9 @@ def _ensure_builtins_registered() -> None:
         return
     import repro.baselines.naive  # noqa: F401
     import repro.baselines.random_projection  # noqa: F401
+    import repro.baselines.spanning_tree  # noqa: F401
     import repro.core.effective_resistance  # noqa: F401
+    import repro.estimators  # noqa: F401
 
     _registered_builtins = True
 

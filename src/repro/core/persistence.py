@@ -52,9 +52,10 @@ from repro.graphs.graph import Graph
 from repro.utils.validation import require
 
 # v1: monolithic cholinv only; v2 adds kind="partitioned" (plan + separator
-# systems + per-shard region factors).  v1 files have no "kind" member and
-# load as cholinv.
-FORMAT_VERSION = 2
+# systems + per-shard region factors); v3 adds kind="landmark" (projection
+# tables of the tiered landmark estimator).  v1 files have no "kind" member
+# and load as cholinv.
+FORMAT_VERSION = 3
 
 
 def _npz_path(path: "str | Path") -> Path:
@@ -69,18 +70,39 @@ def save_engine(engine, path: "str | Path") -> Path:
     """Serialise a built engine to ``path`` (returns the path).
 
     :class:`~repro.core.effective_resistance.CholInvEffectiveResistance`
-    persists directly (its post-build state is plain arrays), and
+    persists directly (its post-build state is plain arrays),
     :class:`~repro.core.partitioned.PartitionedEngine` persists whenever
     its region engines are ``cholinv`` (plan + separator systems + built
-    region factors).  The ``exact`` and ``random_projection`` engines hold
-    live factorisation objects (SuperLU) that cannot be serialised
-    portably — rebuild those instead.
+    region factors), and
+    :class:`~repro.estimators.landmark.LandmarkEffectiveResistance`
+    persists its projection tables (``kind="landmark"`` — the internal
+    cholinv base engine is not stored, the tables answer every query).
+    The ``exact`` and ``random_projection`` engines hold live
+    factorisation objects (SuperLU) that cannot be serialised portably —
+    rebuild those instead.
     """
     from repro.core.effective_resistance import CholInvEffectiveResistance
     from repro.core.partitioned import PartitionedEngine
+    from repro.estimators.landmark import LandmarkEffectiveResistance
 
     if isinstance(engine, PartitionedEngine):
         return _save_partitioned(engine, path)
+    if isinstance(engine, LandmarkEffectiveResistance):
+        base = engine.base_config
+        landmark_config = EngineConfig(
+            method="landmark",
+            num_landmarks=int(engine.num_landmarks),
+            landmark_strategy=engine.landmark_strategy,
+            seed=None if engine.seed is None else int(engine.seed),
+            epsilon=base.epsilon,
+            drop_tol=base.drop_tol,
+            ordering=base.ordering,
+            mode=base.mode,
+            small_column_threshold=base.small_column_threshold,
+            ground_value=base.ground_value,
+            build_workers=base.build_workers,
+        )
+        return _save_landmark(engine, landmark_config, path)
     if not isinstance(engine, CholInvEffectiveResistance):
         raise NotImplementedError(
             f"{type(engine).__name__} does not support persistence; only the "
@@ -123,6 +145,35 @@ def save_engine(engine, path: "str | Path") -> Path:
         stats_n=np.int64(engine.stats.n),
         stats_columns_truncated=np.int64(engine.stats.columns_truncated),
         stats_columns_kept_whole=np.int64(engine.stats.columns_kept_whole),
+    )
+    return path
+
+
+def _save_landmark(engine, config: EngineConfig, path: "str | Path") -> Path:
+    """Serialise a landmark estimator: projection tables + graph + config.
+
+    The tables (``u`` / ``resid_sq`` / ``dist_sq`` / ``landmarks``) are the
+    whole query surface — ``O(n·k)`` floats — so a warm-started worker
+    answers bounded queries without ever refactoring; a service that needs
+    the exact tier too rebuilds it from the saved base-engine settings in
+    the config.
+    """
+    path = _npz_path(path)
+    np.savez(
+        path,
+        format_version=np.int64(FORMAT_VERSION),
+        kind=np.asarray("landmark"),
+        config_json=np.asarray(json.dumps(config.to_dict())),
+        num_nodes=np.int64(engine.graph.num_nodes),
+        graph_heads=engine.graph.heads,
+        graph_tails=engine.graph.tails,
+        graph_weights=engine.graph.weights,
+        component_labels=engine.component_labels,
+        ground_value=np.float64(engine.ground_value),
+        u=engine._u,
+        resid_sq=engine._resid_sq,
+        dist_sq=engine._dist_sq,
+        landmarks=engine.landmarks,
     )
     return path
 
@@ -289,8 +340,32 @@ def _engine_from_any(data):
     kind = str(data["kind"]) if "kind" in data else "cholinv"  # v1: no kind
     if kind == "partitioned":
         return _partitioned_from_arrays(data)
+    if kind == "landmark":
+        return _landmark_from_arrays(data)
     require(kind == "cholinv", f"unknown saved engine kind {kind!r}")
     return _engine_from_arrays(data, CholInvEffectiveResistance)
+
+
+def _landmark_from_arrays(data):
+    from repro.estimators.landmark import LandmarkEffectiveResistance
+
+    config = EngineConfig.from_dict(json.loads(str(data["config_json"])))
+    graph = Graph(
+        int(data["num_nodes"]),
+        data["graph_heads"],
+        data["graph_tails"],
+        data["graph_weights"],
+    )
+    return LandmarkEffectiveResistance.from_state(
+        graph=graph,
+        config=config,
+        u=data["u"],
+        resid_sq=data["resid_sq"],
+        dist_sq=data["dist_sq"],
+        landmarks=data["landmarks"],
+        component_labels=data["component_labels"],
+        ground_value=float(data["ground_value"]),
+    )
 
 
 def _engine_from_arrays(data, engine_cls):

@@ -1,0 +1,190 @@
+"""Adaptive tier ladder — escalate exactly the pairs that need it.
+
+The wrapper owns one engine per ladder entry (cheapest first, default
+``("landmark", "cholinv")``) and answers a batch by sweeping it through
+the ladder: a tier with error bounds keeps every pair whose relative
+half-width is within ``tier_rel_tol`` and passes the rest up; a tier
+without bounds (``cholinv``, ``exact``) is authoritative and keeps
+everything that reaches it.  The final tier always keeps the remainder,
+so every pair is answered.
+
+Engines that share work are shared: when the ladder contains both
+``landmark`` and ``cholinv`` the two tiers use a *single* Alg. 3 factor —
+whichever is built first supplies the other (the landmark tier projects
+the existing factor instead of refactoring the graph).
+
+:attr:`AdaptiveEffectiveResistance.last_tier_counts` records, after each
+batch, how many pairs each tier served — the escalation telemetry the
+service's :class:`~repro.service.resistance_service.BatchReport` surfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+from numpy.typing import ArrayLike
+
+from repro.core.effective_resistance import CholInvEffectiveResistance
+from repro.core.engine import (
+    EngineConfig,
+    ResistanceEngine,
+    build_engine,
+    register_engine,
+    registered_engines,
+)
+from repro.estimators.base import BoundedResistanceEngine, split_trivial
+from repro.estimators.landmark import LandmarkEffectiveResistance
+from repro.graphs.graph import Graph
+from repro.utils.timing import Timer
+from repro.utils.validation import require
+
+_TINY = 1e-12
+
+DEFAULT_TIERS: "tuple[str, ...]" = ("landmark", "cholinv")
+
+
+@register_engine(
+    "adaptive",
+    params=(
+        "tiers", "tier_rel_tol", "seed",
+        "num_landmarks", "landmark_strategy", "num_walks", "walk_length",
+        "num_trees",
+        "epsilon", "drop_tol", "ordering", "mode",
+        "small_column_threshold", "ground_value", "build_workers",
+    ),
+)
+class AdaptiveEffectiveResistance(BoundedResistanceEngine):
+    """Tier ladder with per-pair escalation on the error bound.
+
+    Parameters
+    ----------
+    graph:
+        Weighted undirected graph.
+    tiers:
+        Ladder of registered engine names, cheapest first (``None`` =
+        ``("landmark", "cholinv")``).  ``"adaptive"`` itself is rejected.
+    tier_rel_tol:
+        A bounded tier keeps a pair when ``half_width <= tier_rel_tol *
+        |value|``; everything else escalates.
+    seed, num_landmarks, landmark_strategy, num_walks, walk_length,
+    num_trees, epsilon, drop_tol, ordering, mode,
+    small_column_threshold, ground_value, build_workers:
+        Forwarded to the tier engines that consume them.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        tiers: "tuple[str, ...] | None" = None,
+        tier_rel_tol: float = 0.05,
+        seed: "int | None" = None,
+        num_landmarks: int = 32,
+        landmark_strategy: str = "degree",
+        num_walks: int = 512,
+        walk_length: int = 32,
+        num_trees: int = 200,
+        epsilon: float = 1e-3,
+        drop_tol: float = 1e-3,
+        ordering: str = "amd",
+        mode: str = "blocked",
+        small_column_threshold: "float | None" = None,
+        ground_value: "float | None" = None,
+        build_workers: int = 1,
+    ) -> None:
+        ladder = DEFAULT_TIERS if tiers is None else tuple(tiers)
+        known = registered_engines()
+        for name in ladder:
+            require(
+                name in known and name != "adaptive",
+                f"tier {name!r} is not a usable engine "
+                f"(registered: {', '.join(n for n in known if n != 'adaptive')})",
+            )
+        self.graph = graph
+        self.n = graph.num_nodes
+        self.tier_names = ladder
+        self.tier_rel_tol = tier_rel_tol
+        self.timer = Timer()
+        self.last_tier_counts: "dict[str, int]" = {}
+        shared = dict(
+            seed=seed,
+            num_landmarks=num_landmarks,
+            landmark_strategy=landmark_strategy,
+            num_walks=num_walks,
+            walk_length=walk_length,
+            num_trees=num_trees,
+            epsilon=epsilon,
+            drop_tol=drop_tol,
+            ordering=ordering,
+            mode=mode,
+            small_column_threshold=small_column_threshold,
+            ground_value=ground_value,
+            build_workers=build_workers,
+        )
+        self.tier_engines: "dict[str, ResistanceEngine]" = {}
+        with self.timer.section("tier_builds"):
+            for name in ladder:
+                self.tier_engines[name] = self._build_tier(graph, name, shared)
+        self.component_labels = self.tier_engines[ladder[0]].component_labels
+
+    def _build_tier(
+        self, graph: Graph, name: str, shared: "dict[str, Any]"
+    ) -> ResistanceEngine:
+        # share one Alg. 3 factor between the landmark and cholinv tiers
+        if name == "cholinv":
+            landmark = self.tier_engines.get("landmark")
+            if (
+                isinstance(landmark, LandmarkEffectiveResistance)
+                and landmark.base_engine is not None
+            ):
+                return landmark.base_engine
+        if name == "landmark":
+            base = self.tier_engines.get("cholinv")
+            if isinstance(base, CholInvEffectiveResistance):
+                return LandmarkEffectiveResistance.from_base_engine(
+                    base,
+                    num_landmarks=shared["num_landmarks"],
+                    landmark_strategy=shared["landmark_strategy"],
+                    seed=shared["seed"],
+                )
+        return build_engine(graph, EngineConfig(method=name, **shared))
+
+    # ------------------------------------------------------------------
+    def query_pairs_with_bounds(
+        self, pairs: ArrayLike
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        ps, qs, values, half_widths, active = split_trivial(
+            self.component_labels, pairs
+        )
+        remaining = np.flatnonzero(active)
+        counts: "dict[str, int]" = {}
+        for position, name in enumerate(self.tier_names):
+            if remaining.size == 0:
+                counts[name] = 0
+                continue
+            engine = self.tier_engines[name]
+            batch = np.column_stack((ps[remaining], qs[remaining]))
+            final = position == len(self.tier_names) - 1
+            if isinstance(engine, BoundedResistanceEngine):
+                tier_values, tier_halves = engine.query_pairs_with_bounds(
+                    batch
+                )
+                if final:
+                    keep = np.ones(remaining.shape[0], dtype=bool)
+                else:
+                    keep = tier_halves <= self.tier_rel_tol * np.maximum(
+                        np.abs(tier_values), _TINY
+                    )
+            else:
+                # an exact-grade tier is authoritative for whatever
+                # reaches it — nothing escalates past it
+                tier_values = engine.query_pairs(batch)
+                tier_halves = np.zeros(tier_values.shape[0])
+                keep = np.ones(remaining.shape[0], dtype=bool)
+            kept = remaining[keep]
+            values[kept] = tier_values[keep]
+            half_widths[kept] = tier_halves[keep]
+            counts[name] = int(keep.sum())
+            remaining = remaining[~keep]
+        self.last_tier_counts = counts
+        return values, half_widths

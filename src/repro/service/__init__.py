@@ -21,13 +21,23 @@ each usable on its own:
   accounting; everything is thread-safe, and node ids are validated at
   this boundary.
 
+Requests may carry an SLA — ``query_pairs(pairs, rel_tol=…,
+latency_budget=…)`` — served by the :class:`~repro.service.router.QueryRouter`
+that :meth:`ResistanceService.enable_tiers` installs: calibrated
+approximate tiers (:mod:`repro.estimators`) answer what they can certify
+within the tolerance and budget, everything else escalates to the exact
+path, and a request without an SLA is served bit-identically to a
+service without tiers.
+
 On top sits :class:`~repro.service.async_service.AsyncResistanceService`:
 ``submit(pairs) -> Future`` / ``await aquery_pairs(...)`` with a
 micro-batching loop that coalesces concurrent small requests into one
-planned batch per window — so a fleet of callers shares dedup, cache
-probes and the parallel shard fan-out.  Engine persistence integrates via
-:meth:`ResistanceService.from_saved` (``mmap=True`` maps the saved factor
-so co-located workers share pages).
+planned batch per window (per distinct SLA) — so a fleet of callers
+shares dedup, cache probes and the parallel shard fan-out.  Engine
+persistence integrates via :meth:`ResistanceService.from_saved`
+(``mmap=True`` maps the saved factor so co-located workers share pages),
+and calibration profiles persist as JSON sidecars
+(:meth:`~repro.service.router.CalibrationProfile.default_path`).
 
 Still open (ROADMAP): sharding *within* a component, and process-backed
 executors for GIL-free fan-out.
@@ -48,6 +58,14 @@ from repro.service.resistance_service import (
     ServiceStats,
     SubBatchTiming,
 )
+from repro.service.router import (
+    SLA,
+    CalibrationProfile,
+    QueryRouter,
+    RoutingResult,
+    TierCalibration,
+    calibrate,
+)
 
 __all__ = [
     "ResistanceService",
@@ -64,4 +82,10 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "make_executor",
+    "SLA",
+    "QueryRouter",
+    "RoutingResult",
+    "CalibrationProfile",
+    "TierCalibration",
+    "calibrate",
 ]

@@ -17,6 +17,11 @@ two shapes with a classic micro-batching loop:
   fan-out;
 * each caller's slice of the coalesced answer resolves its future.
 
+Requests may carry a per-request SLA (``rel_tol`` / ``latency_budget``,
+see :mod:`repro.service.router`); the batcher coalesces per distinct SLA
+— two tolerances never share a routed engine batch, but same-SLA
+requests still pool their dedup and cache probes.
+
 Requests are validated at submit time, so one bad node id fails only its
 own future, never a whole coalesced batch.  The wrapped service stays
 fully usable directly — synchronous ``query``/``query_pairs`` callers and
@@ -138,12 +143,20 @@ class AsyncResistanceService:
     # ------------------------------------------------------------------
     # submission API
     # ------------------------------------------------------------------
-    def submit(self, pairs) -> "concurrent.futures.Future[np.ndarray]":
+    def submit(
+        self,
+        pairs,
+        rel_tol: "float | None" = None,
+        latency_budget: "float | None" = None,
+    ) -> "concurrent.futures.Future[np.ndarray]":
         """Enqueue a pair batch; the future resolves to its answers.
 
         Validation (pair shape, node-id range) happens here, synchronously,
         so a malformed request raises in the caller and can never poison a
-        coalesced batch.
+        coalesced batch.  ``rel_tol``/``latency_budget`` attach an SLA,
+        forwarded to
+        :meth:`~repro.service.ResistanceService.query_pairs_with_report`;
+        requests with the same SLA coalesce into one engine batch.
         """
         arr = as_pair_array(pairs)
         validate_node_ids(arr, self.service.graph.num_nodes)
@@ -154,18 +167,32 @@ class AsyncResistanceService:
         with self._cond:
             if self._closed:
                 raise RuntimeError("AsyncResistanceService is closed")
-            self._pending.append((arr, future))
+            self._pending.append((arr, future, (rel_tol, latency_budget)))
             self._pending_pairs += arr.shape[0]
             self._cond.notify_all()
         return future
 
-    def query_pairs(self, pairs) -> np.ndarray:
+    def query_pairs(
+        self,
+        pairs,
+        rel_tol: "float | None" = None,
+        latency_budget: "float | None" = None,
+    ) -> np.ndarray:
         """Synchronous convenience wrapper over :meth:`submit`."""
-        return self.submit(pairs).result()
+        return self.submit(
+            pairs, rel_tol=rel_tol, latency_budget=latency_budget
+        ).result()
 
-    async def aquery_pairs(self, pairs) -> np.ndarray:
+    async def aquery_pairs(
+        self,
+        pairs,
+        rel_tol: "float | None" = None,
+        latency_budget: "float | None" = None,
+    ) -> np.ndarray:
         """Awaitable pair batch (asyncio-native front door)."""
-        return await asyncio.wrap_future(self.submit(pairs))
+        return await asyncio.wrap_future(
+            self.submit(pairs, rel_tol=rel_tol, latency_budget=latency_budget)
+        )
 
     async def aquery(self, p: int, q: int) -> float:
         """Awaitable single-pair query."""
@@ -200,29 +227,37 @@ class AsyncResistanceService:
     def _execute(self, batch) -> None:
         # a caller may have cancelled its future while it sat in the queue
         active = [
-            (arr, future)
-            for arr, future in batch
+            (arr, future, sla_key)
+            for arr, future, sla_key in batch
             if future.set_running_or_notify_cancel()
         ]
         if not active:
             return
-        coalesced = np.concatenate([arr for arr, _ in active])
-        try:
-            values, report = self.service.query_pairs_with_report(coalesced)
-        except BaseException as exc:  # propagate to every waiter
-            for _, future in active:
-                future.set_exception(exc)
-            return
-        with self._cond:  # stats/reports are read from caller threads
-            self.stats.requests += len(active)
-            self.stats.pairs += int(coalesced.shape[0])
-            self.stats.batches += 1
-            self.reports.append(report)
-        offset = 0
-        for arr, future in active:
-            count = arr.shape[0]
-            future.set_result(values[offset:offset + count].copy())
-            offset += count
+        # one engine batch per distinct SLA: different tolerances cannot
+        # share a routed batch, but same-SLA requests still coalesce
+        groups: "dict[tuple, list]" = {}
+        for arr, future, sla_key in active:
+            groups.setdefault(sla_key, []).append((arr, future))
+        for (rel_tol, latency_budget), members in groups.items():
+            coalesced = np.concatenate([arr for arr, _ in members])
+            try:
+                values, report = self.service.query_pairs_with_report(
+                    coalesced, rel_tol=rel_tol, latency_budget=latency_budget
+                )
+            except BaseException as exc:  # propagate to every waiter
+                for _, future in members:
+                    future.set_exception(exc)
+                continue
+            with self._cond:  # stats/reports are read from caller threads
+                self.stats.requests += len(members)
+                self.stats.pairs += int(coalesced.shape[0])
+                self.stats.batches += 1
+                self.reports.append(report)
+            offset = 0
+            for arr, future in members:
+                count = arr.shape[0]
+                future.set_result(values[offset:offset + count].copy())
+                offset += count
 
     # ------------------------------------------------------------------
     # lifecycle

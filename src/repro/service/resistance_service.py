@@ -48,9 +48,12 @@ from repro.core.engine import (
     config_from_kwargs,
     validate_node_ids,
 )
+from repro.estimators.base import BoundedResistanceEngine
+from repro.estimators.landmark import LandmarkEffectiveResistance
 from repro.graphs.graph import Graph
 from repro.service.executor import Executor, SerialExecutor
 from repro.service.planner import QueryPlanner
+from repro.service.router import SLA, CalibrationProfile, QueryRouter, calibrate
 from repro.utils.validation import require
 
 
@@ -93,11 +96,17 @@ class RefreshStats:
 
 @dataclass
 class SubBatchTiming:
-    """How long one engine-bound sub-batch of a planned batch took."""
+    """How long one engine-bound sub-batch of a planned batch took.
+
+    ``tier`` names who answered it: ``"exact"`` for the service's own
+    engine, otherwise the router tier (``"landmark"``, ``"local_walk"``,
+    …) that served it under an SLA.
+    """
 
     shard_id: "int | None"
     num_pairs: int
     seconds: float
+    tier: str = "exact"
 
 
 @dataclass
@@ -107,12 +116,15 @@ class BatchReport:
     num_queries: int = 0
     trivial_rows: int = 0        # p == q and cross-component rows
     cache_hit_rows: int = 0
-    unique_misses: int = 0       # distinct pairs the engine answered
+    unique_misses: int = 0       # distinct pairs an engine answered
     executor: str = "serial"
     plan_seconds: float = 0.0
     execute_seconds: float = 0.0
     total_seconds: float = 0.0
     subbatch_timings: "list[SubBatchTiming]" = field(default_factory=list)
+    # distinct pairs per serving tier for SLA-routed batches ("exact"
+    # included); empty for plain batches
+    tier_rows: "dict[str, int]" = field(default_factory=dict)
 
     @property
     def shards_touched(self) -> int:
@@ -258,6 +270,7 @@ class ResistanceService:
         self._results = _LRU(result_cache_size)
         self._columns = _LRU(column_cache_size)
         self._edge_resistances: "tuple[np.ndarray, np.ndarray] | None" = None  # repro: ignore[lock-discipline] — constructing
+        self._router: "QueryRouter | None" = None  # repro: ignore[lock-discipline] — constructing
         self._lock = threading.Lock()          # stats + engine swap
         self._refresh_lock = threading.Lock()  # serialises rebuilds
         self._edge_lock = threading.Lock()     # all_edge_resistances memo
@@ -372,6 +385,11 @@ class ResistanceService:
         another engine's values nor leaves its own (or a hot column keyed
         by the old permutation) behind in a post-refresh cache; the
         engine swap and cache invalidation happen atomically.
+
+        Any SLA router installed by :meth:`enable_tiers` is dropped in
+        the same swap — its tier engines were built against the old
+        graph — so SLA-routed queries raise until ``enable_tiers`` is
+        called again on the rebuilt engine.
         """
         with self._refresh_lock:
             require(
@@ -420,6 +438,7 @@ class ResistanceService:
                 self.config = rebuild_config
                 self.engine = new_engine
                 self.graph = graph
+                self._router = None  # tier engines belong to the old graph
                 self._epoch += 1
                 invalidated_results = len(self._results)
                 invalidated_columns = len(self._columns)
@@ -435,6 +454,80 @@ class ResistanceService:
                 invalidated_results=invalidated_results,
                 invalidated_columns=invalidated_columns,
             )
+
+    # ------------------------------------------------------------------
+    # tiered serving
+    # ------------------------------------------------------------------
+    def enable_tiers(
+        self,
+        tiers: "tuple[str, ...]" = ("landmark",),
+        calibration_pairs: int = 4096,
+        calibration_seed: int = 0,
+        profile: "CalibrationProfile | None" = None,
+    ) -> CalibrationProfile:
+        """Build approximate tier engines and install the SLA router.
+
+        ``tiers`` lists bounded estimator names cheapest-first (e.g.
+        ``("spanning_tree", "landmark")``); each is built with this
+        service's config (``num_landmarks``, ``num_walks``, … knobs apply)
+        and — unless a previously saved ``profile`` is passed — calibrated
+        against the exact engine on ``calibration_pairs`` sampled pairs.
+        Returns the profile so callers can persist it next to a saved
+        engine (:meth:`~repro.service.router.CalibrationProfile.default_path`).
+
+        Tier builds and calibration run *outside* the service locks; the
+        router is installed only if no refresh intervened.  After
+        :meth:`refresh_after_edge_update` the router is dropped and this
+        method must be called again.
+        """
+        require(len(tiers) >= 1, "need at least one tier")
+        with self._lock:  # engine + graph + config swap together
+            engine = self.engine
+            graph = self.graph
+            config = self.config
+            epoch = self._epoch
+        engines: "dict[str, BoundedResistanceEngine]" = {}
+        for name in tiers:
+            require(
+                name != config.method,
+                f"tier {name!r} is the service's exact engine itself",
+            )
+            if name == "landmark" and isinstance(
+                engine, CholInvEffectiveResistance
+            ):
+                # reuse the served factorisation instead of a second build
+                tier_engine: ResistanceEngine = (
+                    LandmarkEffectiveResistance.from_base_engine(
+                        engine,
+                        num_landmarks=config.num_landmarks,
+                        landmark_strategy=config.landmark_strategy,
+                        seed=config.seed,
+                    )
+                )
+            else:
+                tier_engine = build_engine(graph, config.replace(method=name))
+            require(
+                isinstance(tier_engine, BoundedResistanceEngine),
+                f"tier {name!r} reports no error bounds and cannot be "
+                f"routed safely",
+            )
+            engines[name] = tier_engine
+        if profile is None:
+            profile = calibrate(
+                engine,
+                engines,
+                num_pairs=calibration_pairs,
+                seed=calibration_seed,
+            )
+        router = QueryRouter(profile, engines, order=tuple(tiers))
+        with self._lock:
+            require(
+                self._epoch == epoch,
+                "a refresh raced enable_tiers(); call it again so the "
+                "tiers are built against the current engine",
+            )
+            self._router = router
+        return profile
 
     # ------------------------------------------------------------------
     # queries
@@ -466,17 +559,28 @@ class ResistanceService:
         )
         return value
 
-    def query_pairs(self, pairs) -> np.ndarray:
+    def query_pairs(
+        self,
+        pairs,
+        rel_tol: "float | None" = None,
+        latency_budget: "float | None" = None,
+    ) -> np.ndarray:
         """Effective resistances for an ``(m, 2)`` array of node pairs.
 
         Runs the full planner/executor path; see
-        :meth:`query_pairs_with_report` for the per-batch accounting.
+        :meth:`query_pairs_with_report` for the per-batch accounting and
+        the meaning of the optional SLA parameters.
         """
-        values, _ = self.query_pairs_with_report(pairs)
+        values, _ = self.query_pairs_with_report(
+            pairs, rel_tol=rel_tol, latency_budget=latency_budget
+        )
         return values
 
     def query_pairs_with_report(
-        self, pairs
+        self,
+        pairs,
+        rel_tol: "float | None" = None,
+        latency_budget: "float | None" = None,
     ) -> "tuple[np.ndarray, BatchReport]":
         """Answer a pair batch and report how it was served.
 
@@ -487,12 +591,33 @@ class ResistanceService:
         scattered back and cached.  The returned
         :class:`BatchReport` carries the hit/miss split and per-sub-batch
         timings for this request alone.
+
+        ``rel_tol`` / ``latency_budget`` attach an :class:`SLA` to the
+        request: cache-missed pairs are offered to the router installed
+        by :meth:`enable_tiers` first, which serves what its calibrated
+        tiers can keep within the tolerance/budget and escalates the rest
+        to the exact path above.  Cached exact results still short-circuit
+        (they are free and better than any tier), and tier-served answers
+        never enter the exact result cache.  With both left ``None`` the
+        request takes the plain exact path, bit-identical to a service
+        without tiers.
         """
         t_start = time.perf_counter()
         arr = as_pair_array(pairs)
+        sla = (
+            None
+            if rel_tol is None and latency_budget is None
+            else SLA(rel_tol=rel_tol, latency_budget=latency_budget)
+        )
         with self._lock:  # engine + epoch swap together; read them together
             engine = self.engine
             epoch = self._epoch
+            router = self._router
+        require(
+            sla is None or router is not None,
+            "SLA-routed queries need enable_tiers() first (routers are "
+            "dropped by refresh_after_edge_update)",
+        )
         # validate against the snapshot, so ids stay in range for the
         # exact engine this batch runs on even if a refresh races us
         validate_node_ids(arr, engine.n)
@@ -509,10 +634,38 @@ class ResistanceService:
                 for entry in self._results.get_many(keys)
             ]
         )
+        routed_rows = 0
+        if sla is not None and router is not None:
+            pending = np.flatnonzero(~plan.resolved)
+            if pending.size:
+                routed = router.serve(
+                    np.column_stack(
+                        (plan.unique_lo[pending], plan.unique_hi[pending])
+                    ),
+                    sla,
+                )
+                kept = pending[routed.served]
+                # approximate answers resolve the plan directly and are
+                # NEVER written to the exact result LRU
+                plan.values[kept] = routed.values[routed.served]
+                plan.resolved[kept] = True
+                routed_rows = int(kept.shape[0])
+                for tier, count in routed.tier_rows.items():
+                    report.tier_rows[tier] = count
+                    report.subbatch_timings.append(
+                        SubBatchTiming(
+                            None, count,
+                            routed.tier_seconds.get(tier, 0.0), tier=tier,
+                        )
+                    )
         subbatches = plan.build_subbatches(self.max_task_pairs)
         report.trivial_rows = plan.trivial_rows
         report.cache_hit_rows = plan.cache_hit_rows
-        report.unique_misses = sum(s.num_pairs for s in subbatches)
+        report.unique_misses = routed_rows + sum(
+            s.num_pairs for s in subbatches
+        )
+        if sla is not None:
+            report.tier_rows["exact"] = sum(s.num_pairs for s in subbatches)
         report.plan_seconds = time.perf_counter() - t_start
         with self._lock:
             self.stats.queries += report.num_queries

@@ -311,7 +311,7 @@ class TestConfigPersistenceDrift:
             {
                 "engine.py": CONFIG_MODULE,
                 "persistence.py": """
-    from engine import EngineConfig
+    from engine import EngineConfig, register_engine
 
     def save_engine(engine, path):
         return EngineConfig(
@@ -320,6 +320,7 @@ class TestConfigPersistenceDrift:
             build_workers=engine.build_workers,
         )
 
+    @register_engine("cholinv", params=("epsilon", "build_workers"))
     class CholInv:
         @classmethod
         def from_state(cls, state, config):
@@ -361,7 +362,7 @@ class TestConfigPersistenceDrift:
             {
                 "engine.py": CONFIG_MODULE,
                 "persistence.py": """
-    from engine import EngineConfig
+    from engine import EngineConfig, register_engine
 
     def save_engine(engine, path):
         return EngineConfig(
@@ -370,6 +371,7 @@ class TestConfigPersistenceDrift:
             build_workers=engine.build_workers,
         )
 
+    @register_engine("cholinv", params=("epsilon", "build_workers"))
     class CholInv:
         @classmethod
         def from_state(cls, state, config):
@@ -379,6 +381,47 @@ class TestConfigPersistenceDrift:
             select=["config-persistence-drift"],
         )
         assert report.findings == ()
+
+    def test_second_persisted_method_checked_independently(self, tmp_path):
+        # landmark-style second kind: each save call is keyed by its own
+        # method= constant and checked against that engine's params only
+        report = analyse(
+            tmp_path,
+            {
+                "engine.py": CONFIG_MODULE,
+                "persistence.py": """
+    from engine import EngineConfig, register_engine
+
+    def save_engine(engine, path):
+        if engine.kind == "landmark":
+            return EngineConfig(method="landmark", epsilon=engine.epsilon)
+        return EngineConfig(
+            method="cholinv",
+            epsilon=engine.epsilon,
+            build_workers=engine.build_workers,
+        )
+
+    @register_engine("landmark", params=("epsilon", "build_workers"))
+    class Landmark:
+        @classmethod
+        def from_state(cls, state, config):
+            return (config.epsilon,)
+    """,
+            },
+            select=["config-persistence-drift"],
+        )
+        hits = rule_hits(report, "config-persistence-drift")
+        # the landmark save call is missing build_workers...
+        assert any(
+            "build_workers" in h.message and "'landmark'" in h.message
+            for h in hits
+        )
+        # ...and so is its from_state; the complete cholinv path is quiet
+        assert any(
+            "build_workers" in h.message and "from_state" in h.message
+            for h in hits
+        )
+        assert not any("'cholinv'" in h.message for h in hits)
 
     def test_real_tree_currently_has_no_drift(self):
         src = Path(__file__).resolve().parents[1] / "src" / "repro"

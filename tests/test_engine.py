@@ -29,7 +29,8 @@ from repro.service import ResistanceService
 
 # Conformance configurations: one per registered engine, plus sharded
 # composites.  random_projection gets enough projections to keep its
-# structural answers stable on tiny graphs.
+# structural answers stable on tiny graphs; the estimator tiers get seeds
+# (determinism) and sample counts sized for the tiny fixture.
 CONFIGS = {
     "cholinv": EngineConfig(),
     "exact": EngineConfig(method="exact"),
@@ -37,6 +38,12 @@ CONFIGS = {
     "random_projection": EngineConfig(
         method="random_projection", num_projections=64, solver="splu", seed=0
     ),
+    "spanning_tree": EngineConfig(method="spanning_tree", num_trees=300, seed=0),
+    "landmark": EngineConfig(method="landmark", num_landmarks=4, seed=0),
+    "local_walk": EngineConfig(
+        method="local_walk", num_walks=256, walk_length=32, seed=0
+    ),
+    "adaptive": EngineConfig(method="adaptive", num_landmarks=4, seed=0),
     "sharded-cholinv": EngineConfig(sharded=True),
     "sharded-exact": EngineConfig(method="exact", sharded=True, lazy_shards=True),
 }

@@ -13,7 +13,11 @@ import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
 
-FAST_EXAMPLES = ["graph_sparsification.py", "incremental_design.py"]
+FAST_EXAMPLES = [
+    "graph_sparsification.py",
+    "incremental_design.py",
+    "tiered_quickstart.py",
+]
 
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)

@@ -24,6 +24,7 @@ STRICT_TARGETS = [
     "src/repro/analysis",
     "src/repro/core/engine.py",
     "src/repro/service/executor.py",
+    "src/repro/estimators",
 ]
 
 

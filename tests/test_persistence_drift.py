@@ -86,8 +86,60 @@ def test_config_fields_are_a_superset_of_every_registration():
 
 def test_non_persistable_engines_say_so(mesh, tmp_path):
     for name in registered_engines():
-        if name == "cholinv":
-            continue
+        if name in ("cholinv", "landmark"):
+            continue  # these persist; covered by the round-trip tests
         engine = build_engine(mesh, EngineConfig(method=name, seed=0))
         with pytest.raises(NotImplementedError):
             engine.save(tmp_path / f"{name}.npz")
+
+
+# ----------------------------------------------------------------------
+# landmark engine: the second persisted kind, same drill
+# ----------------------------------------------------------------------
+
+LANDMARK_NON_DEFAULTS = {
+    "num_landmarks": 5,
+    "landmark_strategy": "random",
+    "seed": 7,
+    "epsilon": 2e-4,
+    "drop_tol": 5e-4,
+    "ordering": "natural",
+    "mode": "reference",
+    "small_column_threshold": 7.5,
+    "ground_value": 1.25,
+    "build_workers": 2,
+}
+
+
+def test_landmark_non_defaults_cover_registration_exactly():
+    assert set(LANDMARK_NON_DEFAULTS) == set(engine_params("landmark"))
+
+
+def test_landmark_non_defaults_differ_from_defaults():
+    defaults = EngineConfig()
+    for name, value in LANDMARK_NON_DEFAULTS.items():
+        assert value != getattr(defaults, name), name
+
+
+def test_landmark_config_round_trips_field_by_field(mesh, tmp_path):
+    config = EngineConfig(method="landmark", **LANDMARK_NON_DEFAULTS)
+    engine = build_engine(mesh, config)
+    restored = load_engine(save_engine(engine, tmp_path / "landmark.npz"))
+    assert restored.config is not None
+    for field in ("method", *engine_params("landmark")):
+        assert getattr(restored.config, field) == getattr(config, field), (
+            f"config field {field!r} did not survive save/load"
+        )
+
+
+def test_landmark_round_trip_answers_identically(mesh, tmp_path):
+    engine = build_engine(
+        mesh, EngineConfig(method="landmark", **LANDMARK_NON_DEFAULTS)
+    )
+    restored = load_engine(save_engine(engine, tmp_path / "landmark.npz"))
+    rng = np.random.default_rng(12)
+    pairs = rng.integers(0, mesh.num_nodes, size=(32, 2))
+    values, halves = engine.query_pairs_with_bounds(pairs)
+    restored_values, restored_halves = restored.query_pairs_with_bounds(pairs)
+    np.testing.assert_array_equal(values, restored_values)
+    np.testing.assert_array_equal(halves, restored_halves)

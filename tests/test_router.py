@@ -1,0 +1,279 @@
+"""Tests for SLA routing (repro.service.router + service wiring).
+
+The four router-semantics guarantees:
+
+* a request with no SLA is served bit-identically to a service without
+  tiers (the router is never consulted);
+* tolerance violations escalate — pairs a tier cannot keep within
+  ``rel_tol`` flow through the normal exact path;
+* mixed-SLA traffic splits per tier: the async front-end groups requests
+  by SLA, and each batch's report records who served what;
+* cached exact results short-circuit — a warm result LRU answers before
+  any tier runs, and tier answers never enter that cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, build_engine
+from repro.estimators.landmark import LandmarkEffectiveResistance
+from repro.graphs.generators import fe_mesh_2d
+from repro.service import (
+    SLA,
+    AsyncResistanceService,
+    CalibrationProfile,
+    QueryRouter,
+    ResistanceService,
+    TierCalibration,
+    calibrate,
+)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return fe_mesh_2d(9, 10, seed=4)
+
+
+@pytest.fixture(scope="module")
+def pairs(mesh):
+    rng = np.random.default_rng(0)
+    return rng.integers(0, mesh.num_nodes, size=(250, 2))
+
+
+@pytest.fixture
+def service(mesh):
+    return ResistanceService(mesh, config=EngineConfig(num_landmarks=24, seed=0))
+
+
+# ----------------------------------------------------------------------
+# SLA / calibration plumbing
+# ----------------------------------------------------------------------
+
+def test_sla_validation():
+    assert SLA().is_default
+    assert not SLA(rel_tol=0.1).is_default
+    with pytest.raises(ValueError):
+        SLA(rel_tol=0.0)
+    with pytest.raises(ValueError):
+        SLA(latency_budget=-1.0)
+
+
+def test_threshold_inverts_the_error_curve():
+    calibration = TierCalibration(
+        tier="landmark",
+        scores=np.array([0.01, 0.1, 0.5]),
+        prefix_max_error=np.array([0.001, 0.02, 0.5]),
+        seconds_per_pair=1e-6,
+    )
+    # margin 0.8: target 0.04 admits the first two scores
+    assert calibration.threshold_for(0.05, min_support=1) == pytest.approx(0.1)
+    # nothing on the curve is good enough for a 5e-4 tolerance
+    assert calibration.threshold_for(5e-4, min_support=1) is None
+    assert calibration.threshold_for(10.0, min_support=1) == pytest.approx(0.5)
+    # default support requirement refuses a three-point curve outright:
+    # a threshold read off a handful of samples says nothing about the tail
+    assert calibration.threshold_for(10.0) is None
+
+
+def test_calibration_profile_round_trips_through_json(service, tmp_path):
+    profile = service.enable_tiers(tiers=("landmark",), calibration_pairs=256)
+    assert "landmark" in profile.tiers and profile.num_samples > 0
+    path = profile.save(tmp_path / "engine.npz.calibration.json")
+    loaded = CalibrationProfile.load(path)
+    assert loaded.to_dict() == profile.to_dict()
+    original = profile.tiers["landmark"]
+    restored = loaded.tiers["landmark"]
+    np.testing.assert_array_equal(original.scores, restored.scores)
+    np.testing.assert_array_equal(
+        original.prefix_max_error, restored.prefix_max_error
+    )
+
+
+def test_default_sidecar_path():
+    assert str(CalibrationProfile.default_path("/x/engine.npz")).endswith(
+        "engine.npz.calibration.json"
+    )
+
+
+# ----------------------------------------------------------------------
+# router semantics
+# ----------------------------------------------------------------------
+
+def test_no_sla_is_bit_identical_to_exact(service, mesh, pairs):
+    plain = ResistanceService(mesh, config=EngineConfig(num_landmarks=24, seed=0))
+    baseline = plain.query_pairs(pairs)
+    service.enable_tiers(tiers=("landmark",), calibration_pairs=256)
+    np.testing.assert_array_equal(service.query_pairs(pairs), baseline)
+    # and the report shows no tier accounting at all on the plain path
+    _, report = service.query_pairs_with_report(pairs)
+    assert report.tier_rows == {}
+    assert all(t.tier == "exact" for t in report.subbatch_timings)
+
+
+def test_sla_within_tolerance_and_violations_escalate(mesh, pairs):
+    # few landmarks → wide intervals → plenty of escalation at 1%
+    service = ResistanceService(
+        mesh, config=EngineConfig(num_landmarks=4, seed=0),
+        result_cache_size=0,
+    )
+    truth = service.query_pairs(pairs)
+    service.enable_tiers(tiers=("landmark",), calibration_pairs=256)
+    rel_tol = 0.01
+    values, report = service.query_pairs_with_report(pairs, rel_tol=rel_tol)
+    finite = np.isfinite(truth) & (truth > 0)
+    rel = np.abs(values[finite] - truth[finite]) / truth[finite]
+    assert rel.max() <= rel_tol
+    assert report.tier_rows.get("exact", 0) > 0          # violations escalated
+    assert report.tier_rows.get("landmark", 0) > 0       # easy pairs kept
+    tiers_seen = {t.tier for t in report.subbatch_timings}
+    assert {"landmark", "exact"} <= tiers_seen
+    assert report.unique_misses == sum(report.tier_rows.values())
+
+
+def test_sla_without_tiers_raises(service, pairs):
+    with pytest.raises(ValueError, match="enable_tiers"):
+        service.query_pairs(pairs, rel_tol=0.1)
+
+
+def test_refresh_drops_the_router(service, mesh, pairs):
+    service.enable_tiers(tiers=("landmark",), calibration_pairs=128)
+    service.query_pairs(pairs, rel_tol=0.25)
+    far = mesh.num_nodes - 1
+    service.refresh_after_edge_update(edges=[(0, far)], weights=[1.0])
+    with pytest.raises(ValueError, match="enable_tiers"):
+        service.query_pairs(pairs, rel_tol=0.25)
+    # re-enabling against the rebuilt engine works
+    service.enable_tiers(tiers=("landmark",), calibration_pairs=128)
+    assert service.query_pairs(pairs, rel_tol=0.25).shape == (pairs.shape[0],)
+
+
+def test_cached_exact_results_short_circuit(service, pairs):
+    service.enable_tiers(tiers=("landmark",), calibration_pairs=256)
+    exact = service.query_pairs(pairs)            # warms the result LRU
+    values, report = service.query_pairs_with_report(pairs, rel_tol=0.25)
+    # every non-trivial pair came from the cache: nothing routed, nothing
+    # escalated, and the answers are the cached exact ones bit-for-bit
+    np.testing.assert_array_equal(values, exact)
+    assert report.unique_misses == 0
+    assert report.cache_hit_rows > 0
+    assert report.tier_rows.get("landmark", 0) == 0
+
+
+def test_tier_answers_never_enter_the_exact_cache(mesh, pairs):
+    service = ResistanceService(mesh, config=EngineConfig(num_landmarks=24, seed=0))
+    reference = ResistanceService(
+        mesh, config=EngineConfig(num_landmarks=24, seed=0)
+    ).query_pairs(pairs)
+    service.enable_tiers(tiers=("landmark",), calibration_pairs=256)
+    _, report = service.query_pairs_with_report(pairs, rel_tol=0.5)
+    assert report.tier_rows.get("landmark", 0) > 0  # something was approximate
+    # a later plain request must see exact answers, not cached approximations
+    np.testing.assert_array_equal(service.query_pairs(pairs), reference)
+
+
+def test_latency_budget_downgrades_exact_requests(mesh, pairs):
+    engine = build_engine(mesh, EngineConfig())
+    landmark = LandmarkEffectiveResistance.from_base_engine(
+        engine, num_landmarks=24
+    )
+    # handcrafted profile so the budget decision is deterministic: exact
+    # is "slow" (1 s/pair), the landmark tier is "fast"
+    profile = CalibrationProfile(
+        tiers={
+            "landmark": TierCalibration(
+                tier="landmark",
+                scores=np.array([0.0, 1.0]),
+                prefix_max_error=np.array([0.0, 0.1]),
+                seconds_per_pair=1e-9,
+            )
+        },
+        exact_seconds_per_pair=1.0,
+        num_samples=2,
+    )
+    router = QueryRouter(profile, {"landmark": landmark})
+    batch = pairs[:64]
+    # budget too small for exact → the most accurate fitting tier serves all
+    tight = router.serve(batch, SLA(latency_budget=0.5))
+    assert bool(tight.served.all())
+    assert tight.tier_rows == {"landmark": batch.shape[0]}
+    # generous budget → exact fits → everything escalates untouched
+    loose = router.serve(batch, SLA(latency_budget=1e6))
+    assert not loose.served.any() and loose.tier_rows == {}
+    # impossible budget → nothing fits → exact is the honest fallback
+    hopeless = QueryRouter(
+        CalibrationProfile(
+            tiers=dict(profile.tiers),
+            exact_seconds_per_pair=1.0,
+            num_samples=2,
+        ),
+        {"landmark": landmark},
+    )
+    hopeless.profile.tiers["landmark"].seconds_per_pair = 1e6
+    assert not hopeless.serve(batch, SLA(latency_budget=1e-3)).served.any()
+
+
+def test_latency_budget_vetoes_slow_tiers_under_rel_tol(mesh, pairs):
+    engine = build_engine(mesh, EngineConfig())
+    landmark = LandmarkEffectiveResistance.from_base_engine(
+        engine, num_landmarks=24
+    )
+    slow = TierCalibration(
+        tier="landmark",
+        scores=np.array([0.0, 1.0]),
+        prefix_max_error=np.array([0.0, 0.0]),
+        seconds_per_pair=1e6,       # would accept everything, but too slow
+    )
+    profile = CalibrationProfile(
+        tiers={"landmark": slow}, exact_seconds_per_pair=1.0, num_samples=2
+    )
+    router = QueryRouter(profile, {"landmark": landmark})
+    result = router.serve(pairs[:32], SLA(rel_tol=0.5, latency_budget=1e-3))
+    assert not result.served.any()  # the tier was vetoed, all escalate
+
+
+def test_calibrate_measures_every_tier(mesh):
+    engine = build_engine(mesh, EngineConfig())
+    tiers = {
+        "landmark": LandmarkEffectiveResistance.from_base_engine(
+            engine, num_landmarks=12
+        )
+    }
+    profile = calibrate(engine, tiers, num_pairs=128, seed=1)
+    calibration = profile.tiers["landmark"]
+    assert calibration.scores.shape == calibration.prefix_max_error.shape
+    assert np.all(np.diff(calibration.scores) >= 0)           # sorted
+    assert np.all(np.diff(calibration.prefix_max_error) >= 0)  # prefix max
+    assert profile.exact_seconds_per_pair > 0
+    assert calibration.seconds_per_pair > 0
+
+
+# ----------------------------------------------------------------------
+# async front-end: mixed-SLA batches split per tier
+# ----------------------------------------------------------------------
+
+def test_async_mixed_sla_batches_split_per_tier(mesh, pairs):
+    # cache disabled so the no-SLA batch cannot pre-answer the SLA ones
+    service = ResistanceService(
+        mesh, config=EngineConfig(num_landmarks=24, seed=0),
+        result_cache_size=0,
+    )
+    baseline = ResistanceService(
+        mesh, config=EngineConfig(num_landmarks=24, seed=0)
+    ).query_pairs(pairs)
+    service.enable_tiers(tiers=("landmark",), calibration_pairs=256)
+    with AsyncResistanceService(service, batch_window=0.05) as front:
+        exact_future = front.submit(pairs)
+        loose_a = front.submit(pairs, rel_tol=0.5)
+        loose_b = front.submit(pairs[:50], rel_tol=0.5)
+        tight = front.submit(pairs, rel_tol=1e-9)
+        exact_values = exact_future.result()
+        loose_a.result(), loose_b.result(), tight.result()
+        # 3 distinct SLAs → 3 engine batches, though 4 requests were queued
+        assert front.stats.batches == 3
+        assert front.stats.requests == 4
+        reports = list(front.reports)
+    np.testing.assert_array_equal(exact_values, baseline)
+    no_sla = [r for r in reports if not r.tier_rows]
+    routed = [r for r in reports if r.tier_rows]
+    assert len(no_sla) == 1 and len(routed) == 2
+    assert any(r.tier_rows.get("landmark", 0) > 0 for r in routed)

@@ -173,7 +173,7 @@ class TestLifecycle:
     def test_errors_propagate_to_waiters(self, multi_component, monkeypatch):
         service = ResistanceService(multi_component)
 
-        def explode(pairs):
+        def explode(pairs, rel_tol=None, latency_budget=None):
             raise RuntimeError("engine on fire")
 
         with AsyncResistanceService(service, batch_window=0.02) as front:
